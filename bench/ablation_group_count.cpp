@@ -1,0 +1,68 @@
+// Ablation (§5): number of partial-diversity groups. The paper "studied
+// settings in which users were grouped into 2, 3, 5 and 8 groups" and found
+// 8 groups performed closest to full diversity; this driver sweeps group
+// counts (knee-split and equal-frequency variants) between the homogeneous
+// (1 group) and full-diversity (n groups) endpoints.
+#include "bench/common.hpp"
+
+#include <memory>
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Ablation: partial-diversity group count");
+  flags.add_double("w", 0.4, "utility weight for evaluation");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+  const auto feature = bench::feature_from_flags(flags);
+  const double w = flags.get_double("w");
+
+  bench::banner("Ablation: group count for partial diversity (paper §5)",
+                "more groups -> closer to full diversity; 8 groups was the "
+                "paper's best setting");
+
+  const auto rounds = sim::canonical_rounds();
+  const auto attack = sim::make_attack_model(scenario, feature, rounds.front().train_week);
+  const hids::UtilityHeuristic heuristic(w);
+
+  struct Config {
+    std::string label;
+    std::unique_ptr<hids::Grouper> grouper;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"1 (homogeneous)", std::make_unique<hids::HomogeneousGrouper>()});
+  configs.push_back({"2 (knee 1+1)",
+                     std::make_unique<hids::KneePartialGrouper>(0.15, 1, 1)});
+  configs.push_back({"3 (knee 1+2)",
+                     std::make_unique<hids::KneePartialGrouper>(0.15, 1, 2)});
+  configs.push_back({"5 (knee 2+3)",
+                     std::make_unique<hids::KneePartialGrouper>(0.15, 2, 3)});
+  configs.push_back({"8 (knee 4+4, the paper's)",
+                     std::make_unique<hids::KneePartialGrouper>(0.15, 4, 4)});
+  configs.push_back({"8 (equal frequency)",
+                     std::make_unique<hids::EqualFrequencyGrouper>(8)});
+  configs.push_back({"16 (knee 8+8)",
+                     std::make_unique<hids::KneePartialGrouper>(0.15, 8, 8)});
+  configs.push_back({"n (full diversity)", std::make_unique<hids::FullDiversityGrouper>()});
+
+  // Full diversity is the reference everything should converge to.
+  const auto reference = hids::evaluate_rounds(scenario.matrices, feature, rounds,
+                                               hids::FullDiversityGrouper{}, heuristic,
+                                               attack);
+  const double reference_utility = reference.mean_utility(w);
+
+  util::TextTable table({"groups", "mean utility", "gap to full diversity", "alarms/wk"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right});
+  for (const auto& config : configs) {
+    const auto outcome = hids::evaluate_rounds(scenario.matrices, feature, rounds,
+                                               *config.grouper, heuristic, attack);
+    table.add_row({config.label, util::fixed(outcome.mean_utility(w), 4),
+                   util::fixed(reference_utility - outcome.mean_utility(w), 4),
+                   std::to_string(outcome.total_false_alarms())});
+  }
+  std::cout << table.render()
+            << "\nshape to check: the utility gap to full diversity shrinks "
+               "monotonically-ish\nas groups are added, and is already small by 8 "
+               "groups.\n";
+  return 0;
+}

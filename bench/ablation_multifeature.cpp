@@ -1,0 +1,64 @@
+// Ablation: joint (all-six-features) alarm behavior.
+//
+// The paper evaluates one feature at a time, but a deployed behavioral HIDS
+// watches all six concurrently and pages on any exceedance. This driver
+// measures the user-felt JOINT false-positive rate per policy, and the
+// coincidence factor (how much feature alarms co-fire within bins) that
+// decides whether six detectors cost six times the alarms or much less.
+#include "bench/common.hpp"
+
+#include <algorithm>
+
+#include "sim/enterprise.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Ablation: joint multi-feature alarm rates");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+
+  bench::banner("Ablation: all six detectors at once",
+                "the user-felt FP rate is the joint rate; correlated features "
+                "co-fire, so six detectors cost much less than 6x one");
+
+  const hids::PercentileHeuristic p99(0.99);
+  util::TextTable table({"policy", "median joint FP", "p90 joint FP",
+                         "median sum-of-marginals", "median coincidence"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right});
+
+  for (const auto& grouper : sim::canonical_groupers()) {
+    const auto assignments = sim::assign_all_features(scenario, 0, *grouper, p99);
+
+    std::vector<double> joint, marginals, coincidence;
+    for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+      std::array<double, features::kFeatureCount> thresholds{};
+      for (features::FeatureKind f : features::kAllFeatures) {
+        thresholds[features::index_of(f)] =
+            assignments[features::index_of(f)].threshold_of_user[u];
+      }
+      const auto outcome = hids::joint_alarm_rate(scenario.matrices[u], 1, thresholds);
+      joint.push_back(outcome.joint_fp_rate);
+      marginals.push_back(outcome.sum_of_marginals);
+      if (outcome.joint_fp_rate > 0) coincidence.push_back(outcome.coincidence_factor());
+    }
+    auto quantile = [](std::vector<double>& v, double q) {
+      std::sort(v.begin(), v.end());
+      return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
+    };
+    table.add_row({grouper->name(), util::fixed(quantile(joint, 0.5) * 100, 2) + "%",
+                   util::fixed(quantile(joint, 0.9) * 100, 2) + "%",
+                   util::fixed(quantile(marginals, 0.5) * 100, 2) + "%",
+                   coincidence.empty()
+                       ? "-"
+                       : util::fixed(quantile(coincidence, 0.5), 2) + "x"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nreading: under full diversity every feature targets 1% FP, so six\n"
+               "independent detectors would page 6% of bins — but bursty bins raise\n"
+               "several counters at once (the coincidence factor), so the joint rate\n"
+               "stays well below the sum. Under the monoculture most hosts' joint\n"
+               "rate is ~0 (blind detectors co-fire on nothing).\n";
+  return 0;
+}

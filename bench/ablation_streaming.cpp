@@ -1,0 +1,69 @@
+// Ablation (deployment): on-host streaming threshold learning. The
+// full-diversity policy computes thresholds "all done locally"; a real
+// agent would use bounded-memory quantile estimators rather than buffering
+// a week of bins. This driver quantifies what P² and Greenwald-Khanna cost
+// in threshold accuracy and realized FP against the exact learner — and
+// what they save in memory.
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hids/online_learner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Ablation: streaming on-host threshold learning");
+  flags.add_double("gk-epsilon", 0.005, "Greenwald-Khanna rank-error bound");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+  const auto feature = bench::feature_from_flags(flags);
+
+  bench::banner("Ablation: streaming threshold learners (full-diversity deployment)",
+                "bounded-memory estimators should reproduce the exact per-host "
+                "thresholds and FP behavior");
+
+  const auto test = hids::week_distributions(scenario.matrices, feature, 1);
+
+  util::TextTable table({"estimator", "median |T error| (rel)", "p95 |T error| (rel)",
+                         "mean realized FP", "mean memory/host"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right});
+
+  for (hids::EstimatorKind kind :
+       {hids::EstimatorKind::Exact, hids::EstimatorKind::P2, hids::EstimatorKind::Gk}) {
+    std::vector<double> rel_errors;
+    double fp_sum = 0;
+    double memory_sum = 0;
+    for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+      const auto train_bins = scenario.matrices[u].of(feature).week_slice(0);
+
+      hids::OnlineThresholdLearner learner(0.99, kind, flags.get_double("gk-epsilon"));
+      learner.observe_series(feature, train_bins);
+      const double streamed_t = learner.threshold(feature);
+
+      const stats::EmpiricalDistribution train(
+          std::vector<double>(train_bins.begin(), train_bins.end()));
+      const double exact_t = train.quantile(0.99);
+
+      rel_errors.push_back(std::abs(streamed_t - exact_t) / std::max(1.0, exact_t));
+      fp_sum += test[u].exceedance(streamed_t);
+      memory_sum += static_cast<double>(learner.memory_footprint_bytes());
+    }
+    std::sort(rel_errors.begin(), rel_errors.end());
+    const auto n = scenario.user_count();
+    table.add_row({std::string(name_of(kind)),
+                   util::fixed(rel_errors[n / 2] * 100, 2) + "%",
+                   util::fixed(rel_errors[n * 95 / 100] * 100, 2) + "%",
+                   util::fixed(fp_sum / n * 100, 3) + "%",
+                   util::fixed(memory_sum / n / 1024.0, 1) + " KiB"});
+  }
+  std::cout << table.render()
+            << "\nreading: GK tracks the exact learner's realized FP closely; P2's\n"
+               "five-marker interpolation biases thresholds low on heavy-tailed\n"
+               "streams (its FP overshoots). At one week of 15-minute bins (672\n"
+               "samples) exact buffering is still cheap — the streaming estimators\n"
+               "pay off on 5-minute bins, multi-week windows, or sub-bin event\n"
+               "streams, where GK memory stays logarithmic.\n";
+  return 0;
+}

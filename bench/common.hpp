@@ -1,0 +1,54 @@
+// Shared scaffolding for the per-figure bench binaries: uniform CLI flags
+// (population size, seed, bin width, feature), scenario construction, and a
+// header that records the exact parameters each run regenerated its
+// table/figure with.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace monohids::bench {
+
+/// Registers the flags every experiment binary shares.
+inline util::CliFlags standard_flags(std::string summary) {
+  util::CliFlags flags(std::move(summary));
+  flags.add_int("users", 350, "population size (paper: 350)");
+  flags.add_int("seed", 42, "master seed for the synthetic enterprise");
+  flags.add_int("weeks", 5, "trace horizon in weeks (paper: 5)");
+  flags.add_int("bin-minutes", 15, "feature bin width in minutes (paper: 15 or 5)");
+  flags.add_string("feature", "num-TCP-connections", "feature to analyze");
+  flags.add_bool("verbose", false, "enable info logging");
+  return flags;
+}
+
+/// Builds the scenario a parsed flag set describes, echoing the parameters.
+inline sim::Scenario scenario_from_flags(const util::CliFlags& flags) {
+  if (flags.get_bool("verbose")) util::set_log_level(util::LogLevel::Info);
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  config.set_weeks(static_cast<std::uint32_t>(flags.get_int("weeks")));
+  config.generator.grid =
+      util::BinGrid::minutes(static_cast<std::uint64_t>(flags.get_int("bin-minutes")));
+
+  std::cout << "# users=" << flags.get_int("users") << " seed=" << flags.get_int("seed")
+            << " weeks=" << flags.get_int("weeks")
+            << " bin-minutes=" << flags.get_int("bin-minutes") << '\n';
+  return sim::build_scenario(config);
+}
+
+inline features::FeatureKind feature_from_flags(const util::CliFlags& flags) {
+  return features::parse_feature(flags.get_string("feature"));
+}
+
+/// Prints the standard experiment banner.
+inline void banner(std::string_view figure, std::string_view claim) {
+  std::cout << "=== " << figure << " ===\n# paper claim: " << claim << "\n";
+}
+
+}  // namespace monohids::bench

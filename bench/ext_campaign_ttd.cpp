@@ -1,0 +1,84 @@
+// Extension: ramped-campaign time-to-detection.
+//
+// The paper measures how much constant-rate traffic an attacker can hide;
+// a patient botmaster ramps up instead. This driver launches the same ramp
+// on every host and reports, per policy, how long the campaign runs before
+// each host's detector fires and how much traffic it exfiltrates first —
+// the operational cost of the monoculture in attacker-minutes.
+#include "bench/common.hpp"
+
+#include <algorithm>
+
+#include "hids/campaign.hpp"
+#include "stats/boxplot.hpp"
+#include "util/ascii_chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Extension: campaign time-to-detection");
+  flags.add_double("initial", 5.0, "first-bin attack volume");
+  flags.add_double("slope", 5.0, "per-bin attack growth");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+  const auto feature = bench::feature_from_flags(flags);
+
+  bench::banner("Extension: time-to-detection of a ramping campaign",
+                "diversity catches the ramp while it is still small; the "
+                "monoculture gives it a long free run");
+
+  const auto train = hids::week_distributions(scenario.matrices, feature, 0);
+  const hids::PercentileHeuristic p99(0.99);
+
+  // The campaign rides on every host's week-2 traffic, starting Tuesday 10:00.
+  std::vector<std::vector<double>> test_bins;
+  test_bins.reserve(scenario.user_count());
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    const auto slice = scenario.matrices[u].of(feature).week_slice(1);
+    test_bins.emplace_back(slice.begin(), slice.end());
+  }
+  hids::Campaign campaign;
+  campaign.start_bin = 1 * 96 + 40;  // Tuesday 10:00 in 15-minute bins
+  campaign.initial = flags.get_double("initial");
+  campaign.slope = flags.get_double("slope");
+
+  util::TextTable table({"policy", "median bins to detection", "p90 bins", "undetected",
+                         "median volume exfiltrated"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right});
+  std::vector<util::LabelledBox> boxes;
+
+  for (const auto& grouper : sim::canonical_groupers()) {
+    const auto assignment = hids::assign_thresholds(train, *grouper, p99);
+    const auto outcomes =
+        hids::campaign_outcomes(test_bins, assignment.threshold_of_user, campaign);
+
+    std::vector<double> ttd, volume;
+    std::size_t undetected = 0;
+    for (const auto& o : outcomes) {
+      if (o.detected()) {
+        ttd.push_back(static_cast<double>(*o.bins_to_detection));
+        volume.push_back(o.volume_before_detection);
+      } else {
+        ++undetected;
+      }
+    }
+    std::sort(ttd.begin(), ttd.end());
+    std::sort(volume.begin(), volume.end());
+    table.add_row({grouper->name(),
+                   ttd.empty() ? "-" : util::fixed(ttd[ttd.size() / 2], 0),
+                   ttd.empty() ? "-" : util::fixed(ttd[ttd.size() * 9 / 10], 0),
+                   std::to_string(undetected),
+                   volume.empty() ? "-" : util::fixed(volume[volume.size() / 2], 0)});
+    if (!ttd.empty()) boxes.push_back({grouper->name(), stats::box_stats(ttd)});
+  }
+
+  util::ChartOptions options;
+  options.x_label = "bins (15 min each) the campaign ran before detection";
+  std::cout << util::render_boxplot(boxes, options) << '\n' << table.render();
+
+  std::cout << "\nreading: each extra undetected bin is another window of attack\n"
+               "traffic leaving the enterprise. The monoculture's inflated\n"
+               "thresholds buy the botmaster hours; per-host thresholds cut the\n"
+               "free run to minutes on most hosts.\n";
+  return 0;
+}

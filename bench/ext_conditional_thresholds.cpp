@@ -1,0 +1,97 @@
+// Extension: time-conditioned thresholds (per-user, per-time-of-day).
+//
+// The paper diversifies thresholds across USERS; user traffic is just as
+// diverse across HOURS. A single per-host threshold must clear the busy
+// work-hour peak, handing night-time bots all that headroom. Conditioning
+// on work/off hours spends the same 1% FP budget twice as effectively: this
+// driver measures night-attack detection and FP for both detectors under
+// the full-diversity policy.
+#include "bench/common.hpp"
+
+#include <algorithm>
+
+#include "hids/conditional.hpp"
+#include "util/ascii_chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Extension: time-conditioned per-host thresholds");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+  const auto feature = bench::feature_from_flags(flags);
+
+  bench::banner("Extension: per-(user, time-of-day) thresholds",
+                "conditioning on work/off hours strips the headroom night-time "
+                "bots hide in, at the same false-positive budget");
+
+  const std::size_t bins_per_week = static_cast<std::size_t>(
+      util::kMicrosPerWeek / scenario.config.generator.grid.width());
+
+  // Sweep night-attack sizes; compare population detection for single vs
+  // conditional per-host thresholds (both learned on week 1, tested week 2).
+  const auto sweep = hids::log_attack_sweep(1.0, 2000.0, 24);
+  std::vector<double> single_curve(sweep.sizes.size(), 0.0);
+  std::vector<double> conditional_curve(sweep.sizes.size(), 0.0);
+  double single_fp = 0.0, conditional_fp = 0.0;
+  double night_headroom_single = 0.0, night_headroom_conditional = 0.0;
+
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    const auto& series = scenario.matrices[u].of(feature);
+    // Train on week 1 bins only.
+    features::BinnedSeries train_week(scenario.config.generator.grid,
+                                      util::kMicrosPerWeek);
+    for (std::size_t b = 0; b < bins_per_week; ++b) train_week.set(b, series.at(b));
+
+    const auto conditional = hids::ConditionalDetector::learn(train_week, 0.99);
+    const auto train_slice = series.week_slice(0);
+    const stats::EmpiricalDistribution train_dist(
+        std::vector<double>(train_slice.begin(), train_slice.end()));
+    const double single_t = train_dist.quantile(0.99);
+    const hids::ConditionalDetector single(single_t, single_t);
+
+    single_fp += single.alarm_rate(series, bins_per_week, 2 * bins_per_week);
+    conditional_fp += conditional.alarm_rate(series, bins_per_week, 2 * bins_per_week);
+    night_headroom_single += std::max(0.0, single_t);
+    night_headroom_conditional +=
+        std::max(0.0, conditional.threshold(hids::DaySlot::OffHours));
+
+    for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+      single_curve[i] += single.detection_rate(series, bins_per_week, 2 * bins_per_week,
+                                               hids::DaySlot::OffHours, sweep.sizes[i]);
+      conditional_curve[i] +=
+          conditional.detection_rate(series, bins_per_week, 2 * bins_per_week,
+                                     hids::DaySlot::OffHours, sweep.sizes[i]);
+    }
+  }
+  const auto n = static_cast<double>(scenario.user_count());
+  for (auto& v : single_curve) v /= n;
+  for (auto& v : conditional_curve) v /= n;
+
+  util::Series s1{"single per-host threshold", sweep.sizes, single_curve};
+  util::Series s2{"work/off-hours conditional", sweep.sizes, conditional_curve};
+  util::ChartOptions options;
+  options.x_scale = util::Scale::Log10;
+  options.x_label = "night-time attack size per window (log scale)";
+  options.y_label = "population detection rate";
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  std::cout << util::render_line_chart({s1, s2}, options);
+
+  util::TextTable table({"detector", "test-week FP", "mean off-hours threshold"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right});
+  table.add_row({"single per-host", util::fixed(single_fp / n * 100, 3) + "%",
+                 util::fixed(night_headroom_single / n, 1)});
+  table.add_row({"conditional", util::fixed(conditional_fp / n * 100, 3) + "%",
+                 util::fixed(night_headroom_conditional / n, 1)});
+  std::cout << '\n' << table.render();
+
+  std::size_t idx = 0;
+  while (idx + 1 < sweep.sizes.size() && sweep.sizes[idx] < 30.0) ++idx;
+  std::cout << "\nnight attack of ~30 connections/window: single-threshold detection "
+            << util::fixed(single_curve[idx], 2) << ", conditional "
+            << util::fixed(conditional_curve[idx], 2)
+            << "\nreading: the conditional detector's off-hours bar sits far below "
+               "the\nall-hours one, so nocturnal bots lose their hiding room while "
+               "the\nfalse-positive budget stays comparable.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 1 (a-f): per-user 99th/99.9th-percentile thresholds for all six
+// features, users ordered by tail value. Regenerates the paper's headline
+// observation: thresholds span decades, with a heavy-user knee at the top
+// ~15% and DNS the narrowest feature.
+#include "bench/common.hpp"
+
+#include "stats/ks.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags(
+      "Figure 1: tail diversity of per-user anomaly-detection thresholds");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+
+  bench::banner("Figure 1: tail diversity across features",
+                "threshold spread of 3-4 decades for most features, ~2 for DNS; "
+                "top 10-15% of users form a heavy knee");
+
+  util::TextTable summary(
+      {"feature", "min p99", "median p99", "p85 p99", "max p99", "decades"});
+  summary.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                         util::Align::Right, util::Align::Right, util::Align::Right});
+
+  for (features::FeatureKind f : features::kAllFeatures) {
+    const auto result = sim::tail_diversity(scenario, f, 0);
+    const auto n = result.p99_sorted.size();
+
+    summary.add_row({std::string(features::name_of(f)),
+                     util::fixed(result.p99_sorted.front(), 0),
+                     util::fixed(result.p99_sorted[n / 2], 0),
+                     util::fixed(result.p99_sorted[static_cast<std::size_t>(0.85 * n)], 0),
+                     util::fixed(result.p99_sorted.back(), 0),
+                     util::fixed(result.spread_decades, 2)});
+
+    // Per-feature panel: sorted thresholds on a log axis (the paper's plot).
+    util::Series p99{"99th percentile", {}, {}};
+    util::Series p999{"99.9th percentile", {}, {}};
+    for (std::size_t u = 0; u < n; ++u) {
+      p99.x.push_back(static_cast<double>(u));
+      p99.y.push_back(result.p99_sorted[u]);
+      p999.x.push_back(static_cast<double>(u));
+      p999.y.push_back(result.p999_sorted[u]);
+    }
+    util::ChartOptions options;
+    options.height = 14;
+    options.y_scale = util::Scale::Log10;
+    options.x_label = "user (sorted by tail)";
+    options.y_label = std::string(features::name_of(f)) + " threshold (log scale)";
+    std::cout << '\n' << util::render_line_chart({p99, p999}, options);
+  }
+
+  std::cout << "\nSummary (per-user 99th-percentile thresholds, week 1):\n"
+            << summary.render();
+
+  // Formal diversity check: Kolmogorov-Smirnov distance between random user
+  // pairs. D near 0 would mean users are statistically interchangeable (a
+  // true monoculture); large D quantifies the paper's "tremendous natural
+  // diversity".
+  {
+    const auto users = hids::week_distributions(
+        scenario.matrices, bench::feature_from_flags(flags), 0);
+    util::Xoshiro256 rng(1234);
+    std::vector<double> distances;
+    for (int pair = 0; pair < 300; ++pair) {
+      const auto a = static_cast<std::size_t>(rng() % users.size());
+      auto b = static_cast<std::size_t>(rng() % users.size());
+      if (a == b) b = (b + 1) % users.size();
+      distances.push_back(stats::ks_statistic(users[a], users[b]));
+    }
+    std::sort(distances.begin(), distances.end());
+    std::cout << "\npairwise KS distance (" << flags.get_string("feature")
+              << ", 300 random pairs): median="
+              << util::fixed(distances[distances.size() / 2], 2)
+              << " p10=" << util::fixed(distances[distances.size() / 10], 2)
+              << " p90=" << util::fixed(distances[distances.size() * 9 / 10], 2)
+              << "\n(0 = interchangeable users, 1 = disjoint behavior)\n";
+  }
+
+  // CSV block for external plotting.
+  std::cout << "\ncsv:feature,user_rank,p99,p999\n";
+  for (features::FeatureKind f : features::kAllFeatures) {
+    const auto result = sim::tail_diversity(scenario, f, 0);
+    for (std::size_t u = 0; u < result.p99_sorted.size(); ++u) {
+      std::cout << features::name_of(f) << ',' << u << ',' << result.p99_sorted[u] << ','
+                << result.p999_sorted[u] << '\n';
+    }
+  }
+  return 0;
+}

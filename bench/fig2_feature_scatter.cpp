@@ -1,0 +1,57 @@
+// Figure 2: per-user 99th percentile of num-TCP-connections (x) vs
+// num-UDP-connections (y). Regenerates the paper's observation that users
+// occupy different corners — some TCP-heavy-but-UDP-light, some the reverse
+// — so different users are best suited to detecting different attacks.
+#include "bench/common.hpp"
+
+#include <algorithm>
+
+#include "util/ascii_chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Figure 2: cross-feature fringe comparison");
+  flags.add_string("feature-y", "num-UDP-connections", "feature on the y axis");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+
+  const auto fx = bench::feature_from_flags(flags);
+  const auto fy = features::parse_feature(flags.get_string("feature-y"));
+
+  bench::banner("Figure 2: per-user fringe comparison of two features",
+                "users populate opposite corners: heavy in one feature, light in "
+                "the other");
+
+  const auto scatter = sim::feature_scatter(scenario, fx, fy, 0);
+
+  util::Series points{"one user", scatter.x, scatter.y};
+  util::ChartOptions options;
+  options.height = 22;
+  options.x_scale = util::Scale::Log10;
+  options.y_scale = util::Scale::Log10;
+  options.x_label = std::string(features::name_of(fx)) + " (99 %tile)";
+  options.y_label = std::string(features::name_of(fy)) + " (99 %tile, log scales)";
+  std::cout << util::render_scatter({points}, options);
+
+  // Quantify the corners the paper points at.
+  auto median_of = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double mx = median_of(scatter.x);
+  const double my = median_of(scatter.y);
+  std::size_t x_heavy_y_light = 0, y_heavy_x_light = 0;
+  for (std::size_t u = 0; u < scatter.x.size(); ++u) {
+    if (scatter.x[u] > 3 * mx && scatter.y[u] < my) ++x_heavy_y_light;
+    if (scatter.y[u] > 3 * my && scatter.x[u] < mx) ++y_heavy_x_light;
+  }
+  std::cout << "\nmedians: x=" << mx << " y=" << my << '\n'
+            << "corner users (x>3*median_x, y<median_y): " << x_heavy_y_light << '\n'
+            << "corner users (y>3*median_y, x<median_x): " << y_heavy_x_light << '\n';
+
+  std::cout << "\ncsv:user,p99_x,p99_y\n";
+  for (std::size_t u = 0; u < scatter.x.size(); ++u) {
+    std::cout << u << ',' << scatter.x[u] << ',' << scatter.y[u] << '\n';
+  }
+  return 0;
+}

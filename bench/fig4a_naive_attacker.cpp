@@ -1,0 +1,58 @@
+// Figure 4(a): fraction of users whose HIDS raises an alarm vs the per-bin
+// size of a naive additive attack, per policy. Regenerates: diversity and
+// partial diversity detect stealthy attacks (sizes ~1-100 connections per
+// window) that hide completely under the monoculture's pooled threshold.
+#include "bench/common.hpp"
+
+#include "util/ascii_chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Figure 4(a): naive-attacker detection curves");
+  flags.add_int("size-steps", 50, "attack-size grid resolution");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+
+  bench::banner("Figure 4(a): detection vs naive attack size",
+                "diversity >90% on moderate attacks while homogeneous lags; "
+                "light/medium users catch the stealthy 1-100 range");
+
+  const auto result =
+      sim::naive_attack_curves(scenario, bench::feature_from_flags(flags),
+                               static_cast<std::uint32_t>(flags.get_int("size-steps")));
+
+  std::vector<util::Series> series;
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+    series.push_back({result.policy_names[p], result.sizes, result.detection[p]});
+  }
+  util::ChartOptions options;
+  options.x_scale = util::Scale::Log10;
+  options.x_label = "attack size (per 15-min window, log scale)";
+  options.y_label = "fraction of users raising alarms";
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  std::cout << util::render_line_chart(series, options);
+
+  // The paper's reading-off point: detection at attack size ~100.
+  std::size_t idx100 = 0;
+  while (idx100 + 1 < result.sizes.size() && result.sizes[idx100] < 100.0) ++idx100;
+  util::TextTable table({"policy", "detection @ size~100", "detection @ max"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right});
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+    table.add_row({result.policy_names[p], util::fixed(result.detection[p][idx100], 2),
+                   util::fixed(result.detection[p].back(), 2)});
+  }
+  std::cout << '\n' << table.render();
+
+  std::cout << "\ncsv:size";
+  for (const auto& name : result.policy_names) std::cout << ',' << name;
+  std::cout << '\n';
+  for (std::size_t i = 0; i < result.sizes.size(); ++i) {
+    std::cout << result.sizes[i];
+    for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+      std::cout << ',' << result.detection[p][i];
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// ROC view of the monoculture problem.
+//
+// Not a paper figure, but the cleanest way to see the paper's thesis in
+// detector terms: each host has its own ROC curve for a given attack model,
+// and a heuristic picks one point per *configuration*. The monoculture
+// forces one threshold onto every curve, landing light users in the blind
+// corner and heavy users in the noisy one; per-host thresholds land each
+// user near their own curve's knee.
+#include "bench/common.hpp"
+
+#include "hids/roc.hpp"
+#include "util/ascii_chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("ROC operating points under each policy");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+  const auto feature = bench::feature_from_flags(flags);
+
+  bench::banner("ROC operating points: why one threshold cannot fit all",
+                "a shared threshold lands at wildly different points of each "
+                "host's own ROC curve");
+
+  const auto train = hids::week_distributions(scenario.matrices, feature, 0);
+  const auto attack = sim::make_attack_model(scenario, feature, 0);
+
+  // Representative hosts: light (p10), median, heavy (p90) by training q99.
+  std::vector<std::pair<double, std::uint32_t>> ranked;
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    ranked.emplace_back(train[u].quantile(0.99), u);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const std::uint32_t light = ranked[ranked.size() / 10].second;
+  const std::uint32_t median = ranked[ranked.size() / 2].second;
+  const std::uint32_t heavy = ranked[ranked.size() * 9 / 10].second;
+
+  const hids::PercentileHeuristic p99(0.99);
+  const auto homog = hids::assign_thresholds(train, hids::HomogeneousGrouper{}, p99);
+
+  std::vector<util::Series> curves;
+  util::TextTable table({"host", "own q99", "AUC", "own-threshold (FP, TP)",
+                         "pooled-threshold (FP, TP)"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right});
+
+  const auto describe = [&](const char* label, std::uint32_t u) {
+    const auto curve = hids::roc_curve(train[u], attack);
+    util::Series s{std::string(label), {}, {}};
+    for (const auto& p : curve) {
+      s.x.push_back(p.fp_rate);
+      s.y.push_back(p.tp_rate);
+    }
+    curves.push_back(std::move(s));
+
+    const double own_t = train[u].quantile(0.99);
+    const double pooled_t = homog.threshold_of_user[u];
+    const auto point = [&](double t) {
+      const double fp = train[u].exceedance(t);
+      const double tp = 1.0 - attack.mean_fn(train[u], t);
+      return "(" + util::fixed(fp, 3) + ", " + util::fixed(tp, 2) + ")";
+    };
+    table.add_row({label, util::fixed(own_t, 0),
+                   util::fixed(hids::roc_auc(curve), 3), point(own_t), point(pooled_t)});
+  };
+  describe("light host (p10)", light);
+  describe("median host", median);
+  describe("heavy host (p90)", heavy);
+
+  util::ChartOptions options;
+  options.x_label = "false positive rate";
+  options.y_label = "true positive rate (vs the attack sweep)";
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  std::cout << util::render_line_chart(curves, options) << '\n' << table.render();
+
+  std::cout << "\nreading: per-host thresholds put every host near its own knee "
+               "(FP ~0.01,\nhigh TP). The pooled threshold drags light and median "
+               "hosts to the ROC\norigin — zero false positives because the "
+               "detector never fires at all.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 3: average number of false alarms arriving at the central IT
+// operation center per week, per (threshold heuristic x grouping policy).
+// Regenerates the ordering: the monoculture floods the console; diversity
+// policies roughly halve the volume (paper: 1594 / 892 / 482 for the 99th
+// percentile heuristic, 3536 / 1194 / 2328 for utility w=0.4).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+  auto flags = bench::standard_flags("Table 3: weekly false alarms at the IT console");
+  flags.add_double("w", 0.4, "utility-heuristic weight");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto scenario = bench::scenario_from_flags(flags);
+
+  bench::banner("Table 3: mean false alarms per week at the central console",
+                "homogeneous worst under both heuristics; diversity policies cut "
+                "the volume roughly in half");
+
+  const auto result = sim::alarm_rates(scenario, bench::feature_from_flags(flags),
+                                       flags.get_double("w"));
+
+  util::TextTable table({"Threshold Heuristic", "Homogeneous", "Full Diversity",
+                         "Partial Diversity"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right});
+  for (std::size_t h = 0; h < result.heuristic_names.size(); ++h) {
+    table.add_row({result.heuristic_names[h], util::fixed(result.alarms[h][0], 0),
+                   util::fixed(result.alarms[h][1], 0),
+                   util::fixed(result.alarms[h][2], 0)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\npaper reference (350 users):\n"
+               "  99th-percentile : 1594 / 892 / 482\n"
+               "  utility, w=0.4  : 3536 / 1194 / 2328\n"
+               "shape to check: homogeneous column dominates both rows.\n";
+
+  const double per_user = result.alarms[0][1] /
+                          static_cast<double>(scenario.user_count());
+  std::cout << "full diversity, 99th pct: ~" << util::fixed(per_user, 1)
+            << " alarms per user per week (paper: ~3)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Attacker's-eye view: how much malicious traffic can a bot on an infected
+// host send without tripping the HIDS, under each IT policy?
+//
+// Walks the paper's two threat models (naive and resourceful/mimicry) for a
+// single chosen victim and for the whole population, and shows how the
+// resourceful attacker's profiling pays off — and how diversity policies
+// shrink that payoff.
+//
+//   ./attacker_evasion [--users N] [--victim ID] [--evasion P]
+#include <iostream>
+
+#include "hids/attacker.hpp"
+#include "sim/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+
+  util::CliFlags flags("attacker evasion analysis under monoculture vs diversity");
+  flags.add_int("users", 350, "population size");
+  flags.add_int("seed", 42, "master seed");
+  flags.add_int("victim", 17, "user id of the infected host to examine");
+  flags.add_double("evasion", 0.9, "resourceful attacker's target evasion probability");
+  if (!flags.parse(argc, argv)) return 0;
+
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto scenario = sim::build_scenario(config);
+  const auto victim = static_cast<std::uint32_t>(flags.get_int("victim"));
+  if (victim >= scenario.user_count()) {
+    std::cerr << "victim id out of range\n";
+    return 1;
+  }
+
+  const auto feature = features::FeatureKind::TcpConnections;
+  const auto train = hids::week_distributions(scenario.matrices, feature, 0);
+  const auto test = hids::week_distributions(scenario.matrices, feature, 1);
+  const hids::PercentileHeuristic p99(0.99);
+  const hids::ResourcefulAttacker attacker{flags.get_double("evasion")};
+
+  std::cout << "Victim host " << victim << ": training-week traffic "
+            << "median=" << train[victim].quantile(0.5)
+            << ", q99=" << train[victim].quantile(0.99) << " connections/window\n\n";
+
+  util::TextTable table({"policy", "victim threshold", "hidden volume/window",
+                         "x of victim's q99", "realized evasion (next week)"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right});
+  for (const auto& grouper : sim::canonical_groupers()) {
+    const auto assignment = hids::assign_thresholds(train, *grouper, p99);
+    const double t = assignment.threshold_of_user[victim];
+    const double hidden = attacker.hidden_volume(train[victim], t);
+    const double realized =
+        hids::ResourcefulAttacker::realized_evasion(test[victim], t, hidden);
+    table.add_row({grouper->name(), util::fixed(t, 0), util::fixed(hidden, 0),
+                   util::fixed(hidden / std::max(1.0, train[victim].quantile(0.99)), 2),
+                   util::fixed(realized, 3)});
+  }
+  std::cout << table.render();
+
+  // Population view: how much can a botmaster exfiltrate across the fleet?
+  std::cout << "\nFleet-wide hidden volume (sum over all infected hosts, per window):\n";
+  util::TextTable fleet({"policy", "total hidden volume", "vs full-diversity"});
+  fleet.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right});
+  std::vector<double> totals;
+  for (const auto& grouper : sim::canonical_groupers()) {
+    const auto assignment = hids::assign_thresholds(train, *grouper, p99);
+    const auto volumes = attacker.hidden_volumes(train, assignment.threshold_of_user);
+    double total = 0;
+    for (double v : volumes) total += v;
+    totals.push_back(total);
+  }
+  const auto groupers = sim::canonical_groupers();
+  for (std::size_t g = 0; g < groupers.size(); ++g) {
+    fleet.add_row({groupers[g]->name(), util::fixed(totals[g], 0),
+                   util::fixed(totals[g] / std::max(1.0, totals[1]), 2) + "x"});
+  }
+  std::cout << fleet.render();
+
+  std::cout << "\nA DDoS recruiter that mimics each host's profile can push "
+            << util::fixed(totals[0] / std::max(1.0, totals[1]), 1)
+            << "x more attack traffic through a monoculture-configured fleet\n"
+               "than through per-host thresholds — the paper's Fig. 4(b) point.\n";
+  return 0;
+}

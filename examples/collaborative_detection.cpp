@@ -1,0 +1,87 @@
+// Collaborative detection (the paper's §7 future-work idea, implemented).
+//
+// Different users are naturally sensitive to different attacks (Fig. 2 /
+// Table 2). This example picks per-feature sentinel squads — the hosts with
+// the lowest personal thresholds — and shows how a small quorum of
+// sentinels broadcasting their alarms protects the whole population against
+// attacks most individual hosts would never notice.
+//
+//   ./collaborative_detection [--users N] [--sentinels K] [--quorum Q]
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+
+  util::CliFlags flags("collaborative sentinel detection across the enterprise");
+  flags.add_int("users", 350, "population size");
+  flags.add_int("seed", 42, "master seed");
+  flags.add_int("sentinels", 10, "sentinel squad size");
+  flags.add_int("quorum", 2, "alarms needed to declare an attack");
+  if (!flags.parse(argc, argv)) return 0;
+
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto scenario = sim::build_scenario(config);
+
+  hids::CollaborativeConfig collab;
+  collab.sentinel_count = static_cast<std::size_t>(flags.get_int("sentinels"));
+  collab.quorum = static_cast<std::uint32_t>(flags.get_int("quorum"));
+
+  // 1. Per-feature sentinel squads differ — show the rosters and overlaps.
+  std::cout << "Sentinel squads (lowest-threshold hosts per feature):\n";
+  util::TextTable squads({"feature", "sentinel hosts"});
+  std::vector<std::vector<std::uint32_t>> rosters;
+  for (features::FeatureKind f : features::kAllFeatures) {
+    const auto best =
+        sim::best_users_experiment(scenario, f, 0, collab.sentinel_count);
+    std::string ids;
+    for (std::uint32_t u : best.full_diversity) ids += std::to_string(u) + ' ';
+    squads.add_row({std::string(features::name_of(f)), ids});
+    rosters.push_back(best.full_diversity);
+  }
+  std::cout << squads.render();
+
+  std::size_t max_overlap = 0;
+  for (std::size_t a = 0; a < rosters.size(); ++a) {
+    for (std::size_t b = a + 1; b < rosters.size(); ++b) {
+      max_overlap = std::max(max_overlap, hids::overlap_count(rosters[a], rosters[b]));
+    }
+  }
+  std::cout << "largest squad overlap between any two features: " << max_overlap
+            << " of " << collab.sentinel_count
+            << " — every attack type gets its own natural specialists.\n\n";
+
+  // 2. Detection curves: population-mean solo vs sentinel quorum.
+  const auto curve = sim::collaboration_experiment(
+      scenario, features::FeatureKind::TcpConnections, collab, 36);
+  util::Series solo{"solo (population mean)", curve.sizes, curve.solo};
+  util::Series quorum{"sentinel quorum", curve.sizes, curve.collaborative};
+  util::ChartOptions options;
+  options.x_scale = util::Scale::Log10;
+  options.x_label = "attack size per window (log scale)";
+  options.y_label = "detection probability";
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  std::cout << util::render_line_chart({solo, quorum}, options);
+
+  // 3. Where does collaboration change the story?
+  double best_gain = 0, best_size = 0;
+  for (std::size_t i = 0; i < curve.sizes.size(); ++i) {
+    const double gain = curve.collaborative[i] - curve.solo[i];
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_size = curve.sizes[i];
+    }
+  }
+  std::cout << "\nlargest collaborative gain: +" << util::fixed(best_gain, 2)
+            << " detection probability at attack size ~" << util::fixed(best_size, 0)
+            << " connections/window —\nattacks that hide from almost every host "
+               "individually get caught by the squad.\n";
+  return 0;
+}

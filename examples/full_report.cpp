@@ -1,0 +1,170 @@
+// Full reproduction report: one command, every experiment.
+//
+// Runs all of the paper's tables and figures on a freshly built scenario
+// and writes a self-contained Markdown report (numbers, orderings, and a
+// pass/fail check against each paper claim) to stdout. Archive it together
+// with the serialized configuration it prints at the top and the run is
+// reproducible forever.
+//
+//   ./full_report [--users N] [--seed S] > report.md
+#include <algorithm>
+#include <iostream>
+
+#include "sim/config_io.hpp"
+#include "sim/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace monohids;
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Checks {
+  int passed = 0;
+  int total = 0;
+
+  void check(std::ostream& os, const char* claim, bool ok) {
+    os << "- [" << (ok ? 'x' : ' ') << "] " << claim << '\n';
+    ++total;
+    if (ok) ++passed;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("regenerate every paper experiment as a Markdown report");
+  flags.add_int("users", 350, "population size");
+  flags.add_int("seed", 42, "master seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto scenario = sim::build_scenario(config);
+  std::ostream& os = std::cout;
+  Checks checks;
+
+  os << "# monohids reproduction report\n\n"
+     << "Scenario configuration (replayable via sim::parse_scenario_config):\n\n```\n"
+     << sim::serialize_scenario_config(config) << "```\n\n";
+
+  // Figure 1.
+  os << "## Figure 1 — tail diversity\n\n| feature | min p99 | median | max | decades |\n"
+        "|---|---|---|---|---|\n";
+  double max_spread = 0;
+  double dns_spread = 0;
+  for (features::FeatureKind f : features::kAllFeatures) {
+    const auto r = sim::tail_diversity(scenario, f, 0);
+    os << "| " << features::name_of(f) << " | " << r.p99_sorted.front() << " | "
+       << r.p99_sorted[r.p99_sorted.size() / 2] << " | " << r.p99_sorted.back() << " | "
+       << util::fixed(r.spread_decades, 2) << " |\n";
+    max_spread = std::max(max_spread, r.spread_decades);
+    if (f == features::FeatureKind::DnsConnections) dns_spread = r.spread_decades;
+  }
+  os << '\n';
+  checks.check(os, "thresholds span multiple decades (paper: 3-4)", max_spread >= 2.4);
+  checks.check(os, "DNS among the narrowest features (paper: ~2 decades)",
+               dns_spread <= max_spread - 0.5);
+
+  // Table 2.
+  const auto tcp_best =
+      sim::best_users_experiment(scenario, features::FeatureKind::TcpConnections, 0);
+  const auto udp_best =
+      sim::best_users_experiment(scenario, features::FeatureKind::UdpConnections, 0);
+  const auto overlap_full =
+      hids::overlap_count(tcp_best.full_diversity, udp_best.full_diversity);
+  os << "\n## Table 2 — best users per alarm type\n\nTCP/UDP sentinel overlap: "
+     << overlap_full << " of 10 under full diversity (paper: 2).\n\n";
+  checks.check(os, "sentinel lists barely overlap across features (paper: 2/10)",
+               overlap_full <= 4);
+
+  // Figure 3(b).
+  const auto sweep = sim::weight_sweep(scenario, features::FeatureKind::TcpConnections,
+                                       {0.1, 0.5, 0.9});
+  os << "\n## Figure 3(b) — utility vs w\n\n| w | homogeneous | full | 8-partial |\n"
+        "|---|---|---|---|\n";
+  for (std::size_t i = 0; i < sweep.weights.size(); ++i) {
+    os << "| " << sweep.weights[i] << " | " << util::fixed(sweep.mean_utility[0][i], 3)
+       << " | " << util::fixed(sweep.mean_utility[1][i], 3) << " | "
+       << util::fixed(sweep.mean_utility[2][i], 3) << " |\n";
+  }
+  os << '\n';
+  const double gap_low = sweep.mean_utility[1][0] - sweep.mean_utility[0][0];
+  const double gap_high = sweep.mean_utility[1][2] - sweep.mean_utility[0][2];
+  checks.check(os, "diversity gain grows with w (paper Fig. 3b)", gap_high > gap_low);
+
+  // Table 3.
+  const auto alarms = sim::alarm_rates(scenario, features::FeatureKind::TcpConnections);
+  os << "\n## Table 3 — weekly console alarms\n\n| heuristic | homogeneous | full | "
+        "partial |\n|---|---|---|---|\n";
+  for (std::size_t h = 0; h < alarms.heuristic_names.size(); ++h) {
+    os << "| " << alarms.heuristic_names[h] << " | " << alarms.alarms[h][0] << " | "
+       << alarms.alarms[h][1] << " | " << alarms.alarms[h][2] << " |\n";
+  }
+  os << '\n';
+  checks.check(os, "monoculture floods the console under the 99th-pct heuristic",
+               alarms.alarms[0][0] > alarms.alarms[0][1] &&
+                   alarms.alarms[0][0] > alarms.alarms[0][2]);
+  checks.check(os, "monoculture worst under the utility heuristic too",
+               alarms.alarms[1][0] > alarms.alarms[1][1] &&
+                   alarms.alarms[1][0] > alarms.alarms[1][2]);
+
+  // Figure 4(a).
+  const auto naive =
+      sim::naive_attack_curves(scenario, features::FeatureKind::TcpConnections, 30);
+  std::size_t idx100 = 0;
+  while (idx100 + 1 < naive.sizes.size() && naive.sizes[idx100] < 100.0) ++idx100;
+  os << "\n## Figure 4(a) — naive attacker\n\ndetection at attack size ~100: homogeneous "
+     << util::fixed(naive.detection[0][idx100], 2) << ", full diversity "
+     << util::fixed(naive.detection[1][idx100], 2) << ", 8-partial "
+     << util::fixed(naive.detection[2][idx100], 2) << " (paper: ~0.7 vs >0.9).\n\n";
+  checks.check(os, "diversity detects stealthy attacks the monoculture misses",
+               naive.detection[1][idx100] > naive.detection[0][idx100] + 0.3);
+
+  // Figure 4(b).
+  const auto mimicry =
+      sim::resourceful_attack(scenario, features::FeatureKind::TcpConnections);
+  const double homog_hidden = median_of(mimicry.hidden_volumes[0]);
+  const double full_hidden = median_of(mimicry.hidden_volumes[1]);
+  os << "\n## Figure 4(b) — resourceful attacker\n\nmedian hidden volume: homogeneous "
+     << util::fixed(homog_hidden, 0) << ", full diversity " << util::fixed(full_hidden, 0)
+     << " (paper: ~310 vs ~100).\n\n";
+  checks.check(os, "diversity shrinks the mimicry attacker's budget severalfold",
+               homog_hidden > 3 * full_hidden);
+
+  // Figure 5.
+  const auto storm = sim::storm_replay(scenario);
+  std::vector<double> full_fp, full_det, homog_det;
+  for (const auto& o : storm.outcomes[1]) {
+    full_fp.push_back(o.fp_rate);
+    full_det.push_back(o.detection_rate);
+  }
+  for (const auto& o : storm.outcomes[0]) homog_det.push_back(o.detection_rate);
+  os << "\n## Figure 5 — Storm replay\n\nfull diversity: median FP "
+     << util::fixed(median_of(full_fp), 4) << ", median detection "
+     << util::fixed(median_of(full_det), 3) << "; homogeneous median detection "
+     << util::fixed(median_of(homog_det), 3) << ".\n\n";
+  checks.check(os, "diversity bounds FP near the design point on the real attack",
+               median_of(full_fp) < 0.03);
+  checks.check(os, "more users detect the zombie under diversity",
+               median_of(full_det) > median_of(homog_det));
+
+  // Drift note.
+  const auto drift =
+      sim::threshold_drift(scenario, features::FeatureKind::TcpConnections);
+  os << "\n## §6.1 — threshold stability\n\nmedian realized FP "
+     << util::fixed(drift.median_realized_fp * 100, 2) << "% against the 1% target; "
+     << util::fixed(drift.fraction_within_2x * 100, 1) << "% of users within 2x.\n\n";
+  checks.check(os, "thresholds are not stable week over week",
+               drift.fraction_within_2x < 0.95);
+
+  os << "\n---\n\n**" << checks.passed << " / " << checks.total
+     << " paper claims reproduced on this run.**\n";
+  return checks.passed == checks.total ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Policy comparison: the paper's §6 evaluation loop as an application.
+//
+// Builds an enterprise scenario, then walks through all three IT policies x
+// two threshold heuristics, reporting per-user operating points, console
+// alarm load, and who the sentinel users are — the kind of report an IT
+// department would want before choosing a HIDS configuration policy.
+//
+//   ./policy_comparison [--users N] [--seed S] [--feature name] [--w W]
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "stats/boxplot.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+
+  util::CliFlags flags("policy comparison: monoculture vs diversity vs 8-partial");
+  flags.add_int("users", 350, "population size");
+  flags.add_int("seed", 42, "master seed");
+  flags.add_string("feature", "num-TCP-connections", "feature to analyze");
+  flags.add_double("w", 0.4, "utility weight on false negatives");
+  if (!flags.parse(argc, argv)) return 0;
+
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto scenario = sim::build_scenario(config);
+  const auto feature = features::parse_feature(flags.get_string("feature"));
+  const double w = flags.get_double("w");
+
+  const auto rounds = sim::canonical_rounds();
+  const auto attack = sim::make_attack_model(scenario, feature, rounds.front().train_week);
+
+  std::cout << "Enterprise of " << scenario.user_count() << " hosts, feature "
+            << features::name_of(feature) << ", thresholds re-learned weekly.\n\n";
+
+  // 1. Policy-by-policy operating points under the survey-favorite
+  //    99th-percentile heuristic.
+  const hids::PercentileHeuristic p99(0.99);
+  util::TextTable operating({"policy", "groups", "mean FP", "median FP", "mean detection",
+                             "alarms/wk at console"});
+  operating.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                           util::Align::Right, util::Align::Right, util::Align::Right});
+
+  std::vector<util::LabelledBox> utility_boxes;
+  for (const auto& grouper : sim::canonical_groupers()) {
+    const auto outcome = hids::evaluate_rounds(scenario.matrices, feature, rounds,
+                                               *grouper, p99, attack);
+    std::vector<double> fp;
+    double fp_sum = 0, fn_sum = 0;
+    for (const auto& u : outcome.users) {
+      fp.push_back(u.fp_rate);
+      fp_sum += u.fp_rate;
+      fn_sum += u.fn_rate;
+    }
+    std::sort(fp.begin(), fp.end());
+    const auto n = static_cast<double>(outcome.users.size());
+    const auto groups = outcome.users.empty() ? 0u : [&] {
+      std::uint32_t max_group = 0;
+      for (const auto& u : outcome.users) max_group = std::max(max_group, u.group);
+      return max_group + 1;
+    }();
+    operating.add_row({outcome.policy_name, std::to_string(groups),
+                       util::fixed(fp_sum / n, 4), util::fixed(fp[fp.size() / 2], 4),
+                       util::fixed(1.0 - fn_sum / n, 3),
+                       std::to_string(outcome.total_false_alarms())});
+    utility_boxes.push_back({outcome.policy_name, stats::box_stats(outcome.utilities(w))});
+  }
+  std::cout << "99th-percentile heuristic:\n" << operating.render();
+
+  // 2. Utility distributions (what each user actually experiences).
+  util::ChartOptions options;
+  options.x_label = "per-host utility at w = " + util::fixed(w, 2);
+  std::cout << '\n' << util::render_boxplot(utility_boxes, options);
+
+  // 3. Sentinels: the hosts IT should watch for stealthy anomalies.
+  const auto best = sim::best_users_experiment(scenario, feature, 0, 10);
+  std::cout << "\nsentinel hosts (lowest personal thresholds, full diversity): ";
+  for (std::uint32_t u : best.full_diversity) std::cout << u << ' ';
+  std::cout << "\n\nReading: the monoculture's single threshold hands light users a"
+               "\nblind detector and turns heavy users into alarm floods; both"
+               "\ndiversity policies fix both ends at once.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the library in ~80 lines.
+//
+// Builds a small enterprise population, learns per-host HIDS thresholds
+// under the monoculture (homogeneous) and full-diversity policies, and
+// prints each policy's impact on per-user false positives and detection —
+// the paper's core contrast.
+//
+//   ./quickstart [--users N] [--seed S]
+#include <iostream>
+
+#include "hids/attacker.hpp"
+#include "sim/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+
+  util::CliFlags flags("monohids quickstart: monoculture vs diversity in 80 lines");
+  flags.add_int("users", 60, "population size");
+  flags.add_int("seed", 42, "master seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  // 1. Build a scenario: synthetic enterprise users + 5 weeks of per-host
+  //    feature time series (15-minute bins, six features).
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const sim::Scenario scenario = sim::build_scenario(config);
+  std::cout << "built " << scenario.user_count() << " users x "
+            << config.generator.weeks << " weeks\n\n";
+
+  // 2. Learn thresholds on week 1, evaluate on week 2, for the
+  //    num-TCP-connections feature under both policies.
+  const auto feature = features::FeatureKind::TcpConnections;
+  const auto train = hids::week_distributions(scenario.matrices, feature, 0);
+  const auto test = hids::week_distributions(scenario.matrices, feature, 1);
+  const auto attack = sim::make_attack_model(scenario, feature, 0);
+  const hids::PercentileHeuristic heuristic(0.99);  // the IT favorite
+
+  util::TextTable table({"policy", "min T", "median T", "max T", "alarms/wk",
+                         "mean FP", "mean detection"});
+  table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Right, util::Align::Right,
+                       util::Align::Right});
+
+  const hids::HomogeneousGrouper homogeneous;
+  const hids::FullDiversityGrouper diversity;
+  for (const hids::Grouper* grouper :
+       {static_cast<const hids::Grouper*>(&homogeneous),
+        static_cast<const hids::Grouper*>(&diversity)}) {
+    const auto outcome = hids::evaluate_policy(train, test, *grouper, heuristic, attack);
+
+    std::vector<double> thresholds;
+    double fp = 0.0, fn = 0.0;
+    for (const auto& u : outcome.users) {
+      thresholds.push_back(u.threshold);
+      fp += u.fp_rate;
+      fn += u.fn_rate;
+    }
+    std::sort(thresholds.begin(), thresholds.end());
+    const auto n = static_cast<double>(outcome.users.size());
+    table.add_row({outcome.policy_name, util::fixed(thresholds.front(), 0),
+                   util::fixed(thresholds[thresholds.size() / 2], 0),
+                   util::fixed(thresholds.back(), 0),
+                   std::to_string(outcome.total_false_alarms()), util::fixed(fp / n, 4),
+                   util::fixed(1.0 - fn / n, 3)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nThe monoculture hands every host the same threshold: light users"
+               "\nlose detection, heavy users flood IT with false alarms. Diversity"
+               "\npins each host's false-positive rate at ~1% and detects far more.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// SOC console simulation: the operational path end to end.
+//
+// Configures every host's HIDS from a chosen policy, runs a full week of
+// traffic through the hosts' detectors and alert batchers into the central
+// console — optionally with a Storm zombie wave riding on top — and prints
+// the report a security-operations screen would show: alert volume, the
+// noisiest hosts, per-feature breakdown, and how the picture changes under
+// attack.
+//
+//   ./soc_console [--users N] [--policy homogeneous|full|partial] [--attack]
+#include <iostream>
+
+#include "sim/enterprise.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monohids;
+
+  util::CliFlags flags("simulate a week at the enterprise SOC console");
+  flags.add_int("users", 350, "population size");
+  flags.add_int("seed", 42, "master seed");
+  flags.add_string("policy", "full", "homogeneous | full | partial");
+  flags.add_bool("attack", false, "overlay a Storm zombie on every host");
+  if (!flags.parse(argc, argv)) return 0;
+
+  sim::ScenarioConfig config;
+  config.set_users(static_cast<std::uint32_t>(flags.get_int("users")));
+  config.set_seed(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto scenario = sim::build_scenario(config);
+
+  std::unique_ptr<hids::Grouper> grouper;
+  const std::string& policy = flags.get_string("policy");
+  if (policy == "homogeneous") {
+    grouper = std::make_unique<hids::HomogeneousGrouper>();
+  } else if (policy == "full") {
+    grouper = std::make_unique<hids::FullDiversityGrouper>();
+  } else if (policy == "partial") {
+    grouper = std::make_unique<hids::KneePartialGrouper>();
+  } else {
+    std::cerr << "unknown policy '" << policy << "'\n";
+    return 1;
+  }
+
+  const hids::PercentileHeuristic p99(0.99);
+  const auto assignments = sim::assign_all_features(scenario, 0, *grouper, p99);
+
+  sim::EnterpriseConfig week;
+  week.week = 1;
+  if (flags.get_bool("attack")) {
+    trace::StormConfig storm;
+    storm.grid = scenario.config.generator.grid;
+    week.attack = trace::generate_storm_features(storm);
+  }
+  const auto result = sim::run_enterprise_week(scenario, assignments, week);
+
+  std::cout << "policy: " << grouper->name() << (week.attack ? "  [STORM ACTIVE]" : "")
+            << "\nalerts this week: " << result.console.total_alerts() << " in "
+            << result.console.total_batches() << " batches from "
+            << scenario.user_count() << " hosts\n\n";
+
+  std::cout << "per-feature alert volume:\n";
+  util::TextTable features_table({"feature", "alerts"});
+  features_table.set_alignment({util::Align::Left, util::Align::Right});
+  for (features::FeatureKind f : features::kAllFeatures) {
+    features_table.add_row({std::string(features::name_of(f)),
+                            std::to_string(result.console.alerts_of_feature(f))});
+  }
+  std::cout << features_table.render();
+
+  std::cout << "\nnoisiest hosts:\n";
+  util::TextTable noisy_table({"host", "alerts", "share"});
+  noisy_table.set_alignment({util::Align::Right, util::Align::Right, util::Align::Right});
+  const auto total = std::max<std::uint64_t>(1, result.console.total_alerts());
+  for (const auto& [user, count] : result.console.noisiest_users(8)) {
+    noisy_table.add_row({std::to_string(user), std::to_string(count),
+                         util::fixed(100.0 * static_cast<double>(count) /
+                                         static_cast<double>(total),
+                                     1) +
+                             "%"});
+  }
+  std::cout << noisy_table.render();
+
+  std::cout << "\nTry: --policy homogeneous (watch a handful of heavy hosts drown the"
+               "\nconsole) and add --attack to see how much of the zombie's footprint"
+               "\neach policy surfaces.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "features/extractor.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::features {
+
+FeatureExtractor::FeatureExtractor(util::BinGrid grid, util::Duration horizon) : grid_(grid) {
+  for (auto& s : matrix_.series) s = BinnedSeries(grid, horizon);
+}
+
+void FeatureExtractor::on_packet(const net::PacketRecord& packet, net::Ipv4Address monitored) {
+  MONOHIDS_EXPECT(!finished_, "extractor already finished");
+  if (packet.tuple.src_ip != monitored) return;  // per-source: outbound only
+  if (packet.tuple.protocol == net::Protocol::Tcp &&
+      has_flag(packet.tcp_flags, net::TcpFlags::Syn) &&
+      !has_flag(packet.tcp_flags, net::TcpFlags::Ack)) {
+    matrix_.of(FeatureKind::TcpSyn).add_at(packet.timestamp);
+  }
+}
+
+void FeatureExtractor::on_flow_event(const net::FlowEvent& event) {
+  MONOHIDS_EXPECT(!finished_, "extractor already finished");
+  if (event.kind != net::FlowEventKind::Start) return;
+  if (!event.initiated_by_monitored_host) return;
+
+  const net::Service service = net::classify(event.tuple);
+  const util::Timestamp t = event.timestamp;
+
+  // Service-specific connection counters.
+  if (service == net::Service::Dns) {
+    matrix_.of(FeatureKind::DnsConnections).add_at(t);
+  }
+  if (service == net::Service::Http) {
+    matrix_.of(FeatureKind::HttpConnections).add_at(t);
+  }
+  if (event.tuple.protocol == net::Protocol::Tcp) {
+    matrix_.of(FeatureKind::TcpConnections).add_at(t);
+  } else if (event.tuple.protocol == net::Protocol::Udp) {
+    matrix_.of(FeatureKind::UdpConnections).add_at(t);
+  }
+
+  // Distinct destinations per bin.
+  const std::uint64_t bin = grid_.bin_of(t);
+  if (bin != current_distinct_bin_) roll_distinct_bin(bin);
+  distinct_dsts_.insert(event.tuple.dst_ip);
+}
+
+void FeatureExtractor::roll_distinct_bin(std::uint64_t new_bin) {
+  MONOHIDS_EXPECT(new_bin > current_distinct_bin_, "flow events must be time-ordered");
+  auto& series = matrix_.of(FeatureKind::DistinctConnections);
+  if (!distinct_dsts_.empty() && current_distinct_bin_ < series.bin_count()) {
+    series.set(current_distinct_bin_, static_cast<double>(distinct_dsts_.size()));
+  }
+  distinct_dsts_.clear();
+  current_distinct_bin_ = new_bin;
+}
+
+void FeatureExtractor::finish() {
+  if (finished_) return;
+  auto& series = matrix_.of(FeatureKind::DistinctConnections);
+  if (!distinct_dsts_.empty() && current_distinct_bin_ < series.bin_count()) {
+    series.set(current_distinct_bin_, static_cast<double>(distinct_dsts_.size()));
+  }
+  distinct_dsts_.clear();
+  finished_ = true;
+}
+
+}  // namespace monohids::features

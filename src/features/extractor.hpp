@@ -1,0 +1,48 @@
+// Feature extraction from flow events and packets.
+//
+// Mirrors the paper's Bro processing: only activity *initiated by the
+// monitored host* ("per source basis") is counted. Five features count
+// connection Start events by service class; num-TCP-SYN counts raw outbound
+// SYN packets (so SYN floods with retransmissions register at full
+// strength); num-distinct-connections counts distinct destination IPs
+// contacted within each bin.
+#pragma once
+
+#include <unordered_set>
+
+#include "features/time_series.hpp"
+#include "net/classify.hpp"
+#include "net/flow_table.hpp"
+
+namespace monohids::features {
+
+class FeatureExtractor {
+ public:
+  /// Builds an extractor producing six series on `grid` covering [0, horizon).
+  FeatureExtractor(util::BinGrid grid, util::Duration horizon);
+
+  /// Observes a packet (for raw-SYN counting). Must be called in time order,
+  /// interleaved with on_flow_event as the pipeline advances.
+  void on_packet(const net::PacketRecord& packet, net::Ipv4Address monitored);
+
+  /// Observes a flow event from the flow table.
+  void on_flow_event(const net::FlowEvent& event);
+
+  /// Finalizes the in-progress distinct-destination bin. Call once, after
+  /// the last packet.
+  void finish();
+
+  /// The extracted matrix (valid after finish()).
+  [[nodiscard]] const FeatureMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  void roll_distinct_bin(std::uint64_t new_bin);
+
+  FeatureMatrix matrix_;
+  util::BinGrid grid_;
+  std::uint64_t current_distinct_bin_ = 0;
+  std::unordered_set<net::Ipv4Address> distinct_dsts_;
+  bool finished_ = false;
+};
+
+}  // namespace monohids::features

@@ -1,0 +1,52 @@
+#include "features/feature.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace monohids::features {
+
+std::string_view name_of(FeatureKind f) noexcept {
+  switch (f) {
+    case FeatureKind::DnsConnections: return "num-DNS-connections";
+    case FeatureKind::TcpConnections: return "num-TCP-connections";
+    case FeatureKind::TcpSyn: return "num-TCP-SYN";
+    case FeatureKind::HttpConnections: return "num-HTTP-connections";
+    case FeatureKind::DistinctConnections: return "num-distinct-connections";
+    case FeatureKind::UdpConnections: return "num-UDP-connections";
+  }
+  return "unknown";
+}
+
+std::string_view anomaly_of(FeatureKind f) noexcept {
+  switch (f) {
+    case FeatureKind::DnsConnections: return "Botnet C&C";
+    case FeatureKind::TcpConnections: return "scans, DDoS";
+    case FeatureKind::TcpSyn: return "scans, DDoS";
+    case FeatureKind::HttpConnections: return "Clickfraud, DDoS";
+    case FeatureKind::DistinctConnections: return "scans";
+    case FeatureKind::UdpConnections: return "scans, DDoS";
+  }
+  return "unknown";
+}
+
+std::string_view products_of(FeatureKind f) noexcept {
+  switch (f) {
+    case FeatureKind::DnsConnections: return "Damballa";
+    case FeatureKind::TcpConnections: return "Cisco CSA";
+    case FeatureKind::TcpSyn: return "BRO, CSA";
+    case FeatureKind::HttpConnections: return "BRO, BlackIce";
+    case FeatureKind::DistinctConnections: return "BRO";
+    case FeatureKind::UdpConnections: return "Cisco CSA";
+  }
+  return "unknown";
+}
+
+FeatureKind parse_feature(std::string_view name) {
+  for (FeatureKind f : kAllFeatures) {
+    if (name_of(f) == name) return f;
+  }
+  throw InputError("unknown feature name: " + std::string(name));
+}
+
+}  // namespace monohids::features

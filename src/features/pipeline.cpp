@@ -1,0 +1,27 @@
+#include "features/pipeline.hpp"
+
+namespace monohids::features {
+
+PipelineResult extract_features(net::Ipv4Address monitored,
+                                std::span<const net::PacketRecord> packets,
+                                const PipelineConfig& config) {
+  net::FlowTable table(monitored, config.flow_config);
+  FeatureExtractor extractor(config.grid, config.horizon);
+
+  for (const net::PacketRecord& packet : packets) {
+    extractor.on_packet(packet, monitored);
+    table.process(packet);
+    for (const net::FlowEvent& event : table.drain_events()) {
+      extractor.on_flow_event(event);
+    }
+  }
+  table.flush(config.horizon > 0 ? config.horizon - 1 : 0);
+  for (const net::FlowEvent& event : table.drain_events()) {
+    extractor.on_flow_event(event);
+  }
+  extractor.finish();
+
+  return PipelineResult{extractor.matrix(), table.stats()};
+}
+
+}  // namespace monohids::features

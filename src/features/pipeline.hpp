@@ -1,0 +1,32 @@
+// End-to-end feature pipeline: packets -> flow table -> feature matrix.
+//
+// This is the "Bro processing" stage of the reproduction — the single entry
+// point that turns one host's packet trace into the six binned feature
+// series that every policy, detector and experiment consumes.
+#pragma once
+
+#include <span>
+
+#include "features/extractor.hpp"
+#include "net/flow_table.hpp"
+
+namespace monohids::features {
+
+struct PipelineConfig {
+  util::BinGrid grid = util::BinGrid::minutes(15);
+  util::Duration horizon = 5 * util::kMicrosPerWeek;  ///< paper: 5 weeks
+  net::FlowTableConfig flow_config;
+};
+
+struct PipelineResult {
+  FeatureMatrix matrix;
+  net::FlowTableStats flow_stats;
+};
+
+/// Runs `packets` (time-ordered, all involving `monitored`) through
+/// connection tracking and feature extraction.
+[[nodiscard]] PipelineResult extract_features(net::Ipv4Address monitored,
+                                              std::span<const net::PacketRecord> packets,
+                                              const PipelineConfig& config = {});
+
+}  // namespace monohids::features

@@ -1,0 +1,49 @@
+#include "features/time_series.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::features {
+
+BinnedSeries::BinnedSeries(util::BinGrid grid, util::Duration horizon) : grid_(grid) {
+  MONOHIDS_EXPECT(grid.width() > 0, "bin width must be positive");
+  MONOHIDS_EXPECT(horizon > 0, "series horizon must be positive");
+  counts_.assign(grid.bin_count(horizon), 0.0);
+}
+
+void BinnedSeries::add_at(util::Timestamp t, double amount) {
+  const std::uint64_t bin = grid_.bin_of(t);
+  MONOHIDS_EXPECT(bin < counts_.size(), "timestamp beyond series horizon");
+  counts_[bin] += amount;
+}
+
+double BinnedSeries::at(std::size_t bin) const {
+  MONOHIDS_EXPECT(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+void BinnedSeries::set(std::size_t bin, double value) {
+  MONOHIDS_EXPECT(bin < counts_.size(), "bin index out of range");
+  counts_[bin] = value;
+}
+
+std::span<const double> BinnedSeries::week_slice(std::uint32_t week) const {
+  const std::uint64_t bins_per_week = util::kMicrosPerWeek / grid_.width();
+  const std::uint64_t first = static_cast<std::uint64_t>(week) * bins_per_week;
+  if (first >= counts_.size()) return {};
+  const std::uint64_t last = std::min<std::uint64_t>(first + bins_per_week, counts_.size());
+  return std::span<const double>(counts_).subspan(first, last - first);
+}
+
+std::uint32_t BinnedSeries::week_count() const noexcept {
+  return static_cast<std::uint32_t>(horizon() / util::kMicrosPerWeek);
+}
+
+BinnedSeries BinnedSeries::operator+(const BinnedSeries& other) const {
+  MONOHIDS_EXPECT(grid_.width() == other.grid_.width() && counts_.size() == other.counts_.size(),
+                  "series shapes differ");
+  BinnedSeries out = *this;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out.counts_[i] += other.counts_[i];
+  return out;
+}
+
+}  // namespace monohids::features

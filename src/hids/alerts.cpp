@@ -1,0 +1,34 @@
+#include "hids/alerts.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+AlertBatcher::AlertBatcher(std::uint32_t user_id, util::Duration batch_interval, BatchSink sink)
+    : user_id_(user_id), interval_(batch_interval), sink_(std::move(sink)),
+      next_flush_(batch_interval) {
+  MONOHIDS_EXPECT(interval_ > 0, "batch interval must be positive");
+  MONOHIDS_EXPECT(static_cast<bool>(sink_), "batch sink must be callable");
+}
+
+void AlertBatcher::submit(const Alert& alert) {
+  MONOHIDS_EXPECT(alert.user_id == user_id_, "alert from the wrong host");
+  while (alert.bin_start >= next_flush_) {
+    flush(next_flush_);
+    next_flush_ += interval_;
+  }
+  pending_.push_back(alert);
+}
+
+void AlertBatcher::flush(util::Timestamp now) {
+  if (pending_.empty()) return;
+  AlertBatch batch;
+  batch.user_id = user_id_;
+  batch.flushed_at = now;
+  batch.alerts = std::move(pending_);
+  pending_.clear();
+  ++batches_sent_;
+  sink_(batch);
+}
+
+}  // namespace monohids::hids

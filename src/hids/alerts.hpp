@@ -1,0 +1,60 @@
+// Alerts and on-host batching.
+//
+// Commercial HIDS "batch alerts that are sent periodically to IT"; the
+// AlertBatcher models that: alerts queue on the host and flush to the
+// central console every `batch_interval` of simulated time. Table 3 counts
+// what actually lands at the console.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "features/feature.hpp"
+#include "util/sim_time.hpp"
+
+namespace monohids::hids {
+
+struct Alert {
+  std::uint32_t user_id = 0;
+  features::FeatureKind feature = features::FeatureKind::TcpConnections;
+  std::uint64_t bin = 0;
+  util::Timestamp bin_start = 0;
+  double observed = 0.0;
+  double threshold = 0.0;
+};
+
+/// A flushed batch of alerts from one host.
+struct AlertBatch {
+  std::uint32_t user_id = 0;
+  util::Timestamp flushed_at = 0;
+  std::vector<Alert> alerts;
+};
+
+class AlertBatcher {
+ public:
+  using BatchSink = std::function<void(const AlertBatch&)>;
+
+  /// Batches for `user_id`, flushing every `batch_interval` (simulated).
+  AlertBatcher(std::uint32_t user_id, util::Duration batch_interval, BatchSink sink);
+
+  /// Queues one alert; flushes first if the alert's time crosses the next
+  /// flush boundary. Alerts must arrive in time order.
+  void submit(const Alert& alert);
+
+  /// Flushes any queued alerts at time `now`.
+  void flush(util::Timestamp now);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t batches_sent() const noexcept { return batches_sent_; }
+
+ private:
+  std::uint32_t user_id_;
+  util::Duration interval_;
+  BatchSink sink_;
+  std::vector<Alert> pending_;
+  util::Timestamp next_flush_;
+  std::uint64_t batches_sent_ = 0;
+};
+
+}  // namespace monohids::hids

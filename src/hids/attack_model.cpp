@@ -1,0 +1,50 @@
+#include "hids/attack_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+double AttackModel::mean_fn(const stats::EmpiricalDistribution& g, double t) const {
+  MONOHIDS_EXPECT(!sizes.empty(), "attack model has no sizes");
+  double acc = 0.0;
+  for (double b : sizes) acc += g.shifted_cdf(b, t);
+  return acc / static_cast<double>(sizes.size());
+}
+
+AttackModel linear_attack_sweep(double max_size, std::uint32_t steps) {
+  MONOHIDS_EXPECT(max_size > 0.0, "sweep needs a positive maximum");
+  MONOHIDS_EXPECT(steps >= 2, "sweep needs at least two steps");
+  AttackModel model;
+  model.sizes.reserve(steps);
+  for (std::uint32_t i = 1; i <= steps; ++i) {
+    model.sizes.push_back(max_size * static_cast<double>(i) / static_cast<double>(steps));
+  }
+  return model;
+}
+
+AttackModel log_attack_sweep(double min_size, double max_size, std::uint32_t steps) {
+  MONOHIDS_EXPECT(min_size > 0.0 && max_size > min_size, "need 0 < min < max");
+  MONOHIDS_EXPECT(steps >= 2, "sweep needs at least two steps");
+  AttackModel model;
+  model.sizes.reserve(steps);
+  const double ratio = std::log(max_size / min_size);
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(steps - 1);
+    model.sizes.push_back(min_size * std::exp(ratio * f));
+  }
+  return model;
+}
+
+double max_observed_value(std::span<const stats::EmpiricalDistribution> users) {
+  double best = 0.0;
+  for (const auto& u : users) {
+    if (!u.empty()) best = std::max(best, u.max());
+  }
+  MONOHIDS_EXPECT(best > 0.0, "no user has positive traffic for this feature");
+  return best;
+}
+
+}  // namespace monohids::hids

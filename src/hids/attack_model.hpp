@@ -1,0 +1,41 @@
+// Synthetic attack-size model.
+//
+// The paper evaluates detectors against additive attacks swept "through a
+// large range of attack sizes", bounded by the largest value any user's own
+// traffic reaches (anything bigger trivially stands out on every host). An
+// AttackModel is that sweep: a grid of candidate per-bin attack magnitudes
+// with equal weight, consumed both by FN estimation in the evaluator and by
+// the FN-aware threshold heuristics (F-measure, utility).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/empirical.hpp"
+
+namespace monohids::hids {
+
+struct AttackModel {
+  std::vector<double> sizes;  ///< candidate per-bin attack magnitudes (> 0)
+
+  /// Mean false-negative rate of threshold `t` against this sweep, under
+  /// benign behavior `g`: mean over sizes of P(g + b <= t).
+  [[nodiscard]] double mean_fn(const stats::EmpiricalDistribution& g, double t) const;
+};
+
+/// Builds a linear sweep of `steps` sizes over (0, max_size].
+[[nodiscard]] AttackModel linear_attack_sweep(double max_size, std::uint32_t steps);
+
+/// Builds a logarithmic sweep of `steps` sizes over [min_size, max_size]
+/// (stealthy attacks get proportionally more grid points, mirroring the
+/// paper's interest in the 1-100 connections/window range).
+[[nodiscard]] AttackModel log_attack_sweep(double min_size, double max_size,
+                                           std::uint32_t steps);
+
+/// The paper's sweep bound: the maximum value of the feature over every
+/// user's own (training) traffic.
+[[nodiscard]] double max_observed_value(
+    std::span<const stats::EmpiricalDistribution> users);
+
+}  // namespace monohids::hids

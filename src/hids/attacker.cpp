@@ -1,0 +1,58 @@
+#include "hids/attacker.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+double naive_detection_probability(const stats::EmpiricalDistribution& test, double threshold,
+                                   double size) {
+  MONOHIDS_EXPECT(!test.empty(), "empty test distribution");
+  // detection <=> g + size > T <=> NOT (g + size <= T)
+  return 1.0 - test.shifted_cdf(size, threshold);
+}
+
+std::vector<double> naive_detection_curve(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, std::span<const double> sizes) {
+  MONOHIDS_EXPECT(test_users.size() == thresholds.size(),
+                  "user/threshold count mismatch");
+  MONOHIDS_EXPECT(!test_users.empty(), "empty population");
+  std::vector<double> curve;
+  curve.reserve(sizes.size());
+  for (double size : sizes) {
+    double acc = 0.0;
+    for (std::size_t u = 0; u < test_users.size(); ++u) {
+      acc += naive_detection_probability(test_users[u], thresholds[u], size);
+    }
+    curve.push_back(acc / static_cast<double>(test_users.size()));
+  }
+  return curve;
+}
+
+double ResourcefulAttacker::hidden_volume(const stats::EmpiricalDistribution& profiled,
+                                          double threshold) const {
+  MONOHIDS_EXPECT(evasion_target > 0.0 && evasion_target <= 1.0,
+                  "evasion target must be in (0,1]");
+  return profiled.max_hidden_shift(threshold, evasion_target);
+}
+
+std::vector<double> ResourcefulAttacker::hidden_volumes(
+    std::span<const stats::EmpiricalDistribution> profiled_users,
+    std::span<const double> thresholds) const {
+  MONOHIDS_EXPECT(profiled_users.size() == thresholds.size(),
+                  "user/threshold count mismatch");
+  std::vector<double> out;
+  out.reserve(profiled_users.size());
+  for (std::size_t u = 0; u < profiled_users.size(); ++u) {
+    out.push_back(hidden_volume(profiled_users[u], thresholds[u]));
+  }
+  return out;
+}
+
+double ResourcefulAttacker::realized_evasion(const stats::EmpiricalDistribution& test,
+                                             double threshold, double volume) {
+  MONOHIDS_EXPECT(!test.empty(), "empty test distribution");
+  return test.shifted_cdf(volume, threshold);
+}
+
+}  // namespace monohids::hids

@@ -1,0 +1,56 @@
+// Attacker models (paper §3 and §6.2).
+//
+// Both attackers add traffic b on top of the user's own g (the additive
+// threat model):
+//   - the naive attacker knows nothing and injects a fixed per-bin volume;
+//     the question is what fraction of differently-configured hosts detect
+//     a given size (Fig. 4a);
+//   - the resourceful (mimicry) attacker has profiled the host — it knows
+//     P(g) and the threshold T — and injects the largest volume that still
+//     evades detection with the chosen probability (Fig. 4b): the paper's
+//     largest b with P(g + b < T) = 0.9.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/empirical.hpp"
+
+namespace monohids::hids {
+
+/// Per-user detection probability of a naive attack of per-bin size `size`:
+/// P(g_test + size > T) over the user's test-week bins.
+[[nodiscard]] double naive_detection_probability(const stats::EmpiricalDistribution& test,
+                                                 double threshold, double size);
+
+/// Fig. 4a series: for each size in `sizes`, the mean detection probability
+/// across the population ("percentage of users raising alarms").
+[[nodiscard]] std::vector<double> naive_detection_curve(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, std::span<const double> sizes);
+
+struct ResourcefulAttacker {
+  /// The attacker accepts detection with probability 1 - evasion_target.
+  double evasion_target = 0.9;
+
+  /// Largest per-bin volume that evades the host's detector with the target
+  /// probability, computed from the attacker's own profile of the host
+  /// (`profiled` — the paper's attacker measures P(g) itself, so this is
+  /// the distribution its monitoring code observed, typically the training
+  /// week).
+  [[nodiscard]] double hidden_volume(const stats::EmpiricalDistribution& profiled,
+                                     double threshold) const;
+
+  /// Hidden volume for every user (Fig. 4b's boxplot input).
+  [[nodiscard]] std::vector<double> hidden_volumes(
+      std::span<const stats::EmpiricalDistribution> profiled_users,
+      std::span<const double> thresholds) const;
+
+  /// Realized evasion: probability the attack at `volume` actually stays
+  /// under the threshold on the *test* week (the attacker's profile can be
+  /// stale — this quantifies its real-world risk).
+  [[nodiscard]] static double realized_evasion(const stats::EmpiricalDistribution& test,
+                                               double threshold, double volume);
+};
+
+}  // namespace monohids::hids

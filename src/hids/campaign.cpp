@@ -1,0 +1,44 @@
+#include "hids/campaign.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+double Campaign::volume_at(std::uint64_t bins_since_start) const noexcept {
+  return std::min(peak, initial + slope * static_cast<double>(bins_since_start));
+}
+
+DetectionOutcome time_to_detection(std::span<const double> benign, double threshold,
+                                   const Campaign& campaign) {
+  MONOHIDS_EXPECT(campaign.start_bin < benign.size(), "campaign starts outside the series");
+  MONOHIDS_EXPECT(campaign.initial >= 0.0 && campaign.peak >= campaign.initial,
+                  "campaign volumes must be non-negative with peak >= initial");
+
+  DetectionOutcome outcome;
+  for (std::uint64_t k = 0; campaign.start_bin + k < benign.size(); ++k) {
+    const double volume = campaign.volume_at(k);
+    if (benign[campaign.start_bin + k] + volume > threshold) {
+      outcome.bins_to_detection = k;
+      return outcome;
+    }
+    outcome.volume_before_detection += volume;
+  }
+  return outcome;  // ran to the end undetected
+}
+
+std::vector<DetectionOutcome> campaign_outcomes(
+    std::span<const std::vector<double>> benign_users, std::span<const double> thresholds,
+    const Campaign& campaign) {
+  MONOHIDS_EXPECT(benign_users.size() == thresholds.size(),
+                  "user/threshold count mismatch");
+  std::vector<DetectionOutcome> outcomes;
+  outcomes.reserve(benign_users.size());
+  for (std::size_t u = 0; u < benign_users.size(); ++u) {
+    outcomes.push_back(time_to_detection(benign_users[u], thresholds[u], campaign));
+  }
+  return outcomes;
+}
+
+}  // namespace monohids::hids

@@ -1,0 +1,54 @@
+// Attack campaigns and time-to-detection.
+//
+// The paper's attacks are constant per-bin volumes; a patient botmaster
+// ramps up instead, starting below the noise floor and growing until the
+// host is fully recruited ("boiling the frog"). A Campaign describes such a
+// ramp; time_to_detection() reports how many bins it runs before the
+// detector first fires — the window during which the attacker operates
+// freely — and the volume exfiltrated until then.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace monohids::hids {
+
+/// A ramped additive attack: volume(k) = initial + slope * k for the k-th
+/// attacked bin (k = 0 at `start_bin`), capped at `peak`.
+struct Campaign {
+  std::uint64_t start_bin = 0;
+  double initial = 1.0;   ///< volume in the first attacked bin
+  double slope = 1.0;     ///< per-bin growth
+  double peak = 1e18;     ///< growth cap (the botmaster's target rate)
+
+  [[nodiscard]] double volume_at(std::uint64_t bins_since_start) const noexcept;
+};
+
+struct DetectionOutcome {
+  /// Bins the campaign ran before the first alarm; nullopt = never caught
+  /// within the evaluated series.
+  std::optional<std::uint64_t> bins_to_detection;
+
+  /// Attack volume delivered before (not including) the alarming bin.
+  double volume_before_detection = 0.0;
+
+  [[nodiscard]] bool detected() const noexcept { return bins_to_detection.has_value(); }
+};
+
+/// Replays `campaign` on top of the benign series and reports when the
+/// threshold detector first fires. `benign` must be the bin series the
+/// detector actually watches (test week); bins before start_bin are not
+/// attacked and alarms there are ignored (they are false positives, not
+/// campaign detections).
+[[nodiscard]] DetectionOutcome time_to_detection(std::span<const double> benign,
+                                                 double threshold, const Campaign& campaign);
+
+/// Population summary: per-user detection outcomes for the same campaign
+/// shape (start_bin interpreted per-series).
+[[nodiscard]] std::vector<DetectionOutcome> campaign_outcomes(
+    std::span<const std::vector<double>> benign_users, std::span<const double> thresholds,
+    const Campaign& campaign);
+
+}  // namespace monohids::hids

@@ -1,0 +1,87 @@
+#include "hids/collaborative.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hids/attacker.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+std::size_t overlap_count(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  std::vector<std::uint32_t> sa(a.begin(), a.end());
+  std::vector<std::uint32_t> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<std::uint32_t> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  return inter.size();
+}
+
+namespace {
+
+/// P(at least `quorum` of independent events with probabilities `p` occur),
+/// by dynamic programming over the Poisson-binomial distribution.
+double at_least_k(std::span<const double> p, std::uint32_t quorum) {
+  if (quorum == 0) return 1.0;
+  // dp[j] = P(exactly j successes so far) for j < quorum; dp[quorum] is the
+  // absorbing ">= quorum" state.
+  std::vector<double> dp(quorum + 1, 0.0);
+  dp[0] = 1.0;
+  for (double pi : p) {
+    dp[quorum] += dp[quorum - 1] * pi;  // once over quorum, stay over
+    for (std::uint32_t j = quorum - 1; j > 0; --j) {
+      dp[j] = dp[j] * (1.0 - pi) + dp[j - 1] * pi;
+    }
+    dp[0] *= (1.0 - pi);
+  }
+  return dp[quorum];
+}
+
+std::vector<std::uint32_t> sentinel_ids(std::span<const double> thresholds,
+                                        std::size_t count) {
+  std::vector<std::uint32_t> order(thresholds.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return thresholds[a] < thresholds[b];
+  });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace
+
+double collaborative_detection_probability(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, const CollaborativeConfig& config, double size) {
+  MONOHIDS_EXPECT(test_users.size() == thresholds.size(), "user/threshold count mismatch");
+  MONOHIDS_EXPECT(config.quorum >= 1, "quorum must be at least 1");
+  MONOHIDS_EXPECT(config.sentinel_count >= config.quorum,
+                  "quorum larger than the sentinel pool");
+
+  const auto sentinels = sentinel_ids(thresholds, config.sentinel_count);
+  std::vector<double> p;
+  p.reserve(sentinels.size());
+  for (std::uint32_t s : sentinels) {
+    p.push_back(naive_detection_probability(test_users[s], thresholds[s], size));
+  }
+  return at_least_k(p, config.quorum);
+}
+
+CollaborativeCurve collaborative_curve(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, const CollaborativeConfig& config,
+    std::span<const double> sizes) {
+  CollaborativeCurve curve;
+  curve.sizes.assign(sizes.begin(), sizes.end());
+  curve.solo = naive_detection_curve(test_users, thresholds, sizes);
+  curve.collaborative.reserve(sizes.size());
+  for (double size : sizes) {
+    curve.collaborative.push_back(
+        collaborative_detection_probability(test_users, thresholds, config, size));
+  }
+  return curve;
+}
+
+}  // namespace monohids::hids

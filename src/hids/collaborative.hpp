@@ -1,0 +1,50 @@
+// Collaborative detection (paper §7 future work, implemented as an
+// extension).
+//
+// Figure 2 / Table 2 show that the users best placed to catch an attack
+// differ per feature: low-threshold "sentinels" see stealthy anomalies that
+// heavy users' detectors swallow. This module implements the scheme the
+// paper sketches: sentinels that detect an event broadcast it, and the
+// population counts an attack as detected when a quorum of sentinels alarm.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hids/threshold_policy.hpp"
+
+namespace monohids::hids {
+
+struct CollaborativeConfig {
+  std::size_t sentinel_count = 10;  ///< how many lowest-threshold users serve
+  std::uint32_t quorum = 2;         ///< alarms needed to call a detection
+};
+
+/// Overlap between two best-user lists (|A ∩ B|) — the paper's Table 2
+/// observation that TCP- and UDP-sentinels barely overlap.
+[[nodiscard]] std::size_t overlap_count(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b);
+
+/// Probability that a population-wide additive attack of per-bin size
+/// `size` is collaboratively detected: at least `quorum` of the sentinels
+/// raise an alarm in the attacked bin. Sentinel alarm events are treated as
+/// independent across hosts (they watch disjoint traffic).
+[[nodiscard]] double collaborative_detection_probability(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, const CollaborativeConfig& config, double size);
+
+/// Detection curve over an attack sweep, comparing solo (mean individual
+/// detection) and collaborative detection.
+struct CollaborativeCurve {
+  std::vector<double> sizes;
+  std::vector<double> solo;           ///< mean individual detection rate
+  std::vector<double> collaborative;  ///< quorum-of-sentinels detection rate
+};
+
+[[nodiscard]] CollaborativeCurve collaborative_curve(
+    std::span<const stats::EmpiricalDistribution> test_users,
+    std::span<const double> thresholds, const CollaborativeConfig& config,
+    std::span<const double> sizes);
+
+}  // namespace monohids::hids

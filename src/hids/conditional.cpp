@@ -1,0 +1,76 @@
+#include "hids/conditional.hpp"
+
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+DaySlot slot_of(util::Timestamp t) noexcept {
+  if (util::is_weekend(t)) return DaySlot::OffHours;
+  const double hour = util::hour_of_day(t);
+  return (hour >= 8.0 && hour < 19.0) ? DaySlot::WorkHours : DaySlot::OffHours;
+}
+
+ConditionalDetector::ConditionalDetector(double work_threshold, double off_threshold)
+    : thresholds_{work_threshold, off_threshold} {}
+
+ConditionalDetector ConditionalDetector::learn(const features::BinnedSeries& training,
+                                               double percentile) {
+  MONOHIDS_EXPECT(percentile > 0.0 && percentile < 1.0, "percentile must be in (0,1)");
+  std::array<std::vector<double>, kDaySlotCount> slot_samples;
+  const auto grid = training.grid();
+  for (std::size_t b = 0; b < training.bin_count(); ++b) {
+    const auto slot = static_cast<std::size_t>(slot_of(grid.bin_start(b)));
+    slot_samples[slot].push_back(training.at(b));
+  }
+
+  ConditionalDetector detector;
+  for (std::size_t s = 0; s < kDaySlotCount; ++s) {
+    if (!slot_samples[s].empty()) {
+      detector.thresholds_[s] = stats::quantile_nearest_rank(slot_samples[s], percentile);
+    }
+  }
+  // A slot with no evidence inherits the other's threshold.
+  for (std::size_t s = 0; s < kDaySlotCount; ++s) {
+    if (slot_samples[s].empty()) {
+      detector.thresholds_[s] = detector.thresholds_[1 - s];
+    }
+  }
+  MONOHIDS_EXPECT(!slot_samples[0].empty() || !slot_samples[1].empty(),
+                  "training series is empty");
+  return detector;
+}
+
+double ConditionalDetector::alarm_rate(const features::BinnedSeries& series,
+                                       std::size_t first_bin, std::size_t last_bin) const {
+  MONOHIDS_EXPECT(first_bin < last_bin && last_bin <= series.bin_count(),
+                  "bin range out of bounds");
+  std::size_t alarms = 0;
+  const auto grid = series.grid();
+  for (std::size_t b = first_bin; b < last_bin; ++b) {
+    if (this->alarms(grid.bin_start(b), series.at(b))) ++alarms;
+  }
+  return static_cast<double>(alarms) / static_cast<double>(last_bin - first_bin);
+}
+
+double ConditionalDetector::detection_rate(const features::BinnedSeries& benign,
+                                           std::size_t first_bin, std::size_t last_bin,
+                                           DaySlot attacked_slot,
+                                           double attack_size) const {
+  MONOHIDS_EXPECT(first_bin < last_bin && last_bin <= benign.bin_count(),
+                  "bin range out of bounds");
+  std::size_t attacked = 0, detected = 0;
+  const auto grid = benign.grid();
+  for (std::size_t b = first_bin; b < last_bin; ++b) {
+    const auto t = grid.bin_start(b);
+    if (slot_of(t) != attacked_slot) continue;
+    ++attacked;
+    if (this->alarms(t, benign.at(b) + attack_size)) ++detected;
+  }
+  return attacked == 0 ? 0.0
+                       : static_cast<double>(detected) / static_cast<double>(attacked);
+}
+
+}  // namespace monohids::hids

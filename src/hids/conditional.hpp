@@ -1,0 +1,65 @@
+// Time-conditioned thresholds.
+//
+// A single per-host threshold must sit above the host's *busiest* normal
+// hours, which leaves night-time attacks the whole day-time headroom to
+// hide in. Conditioning the threshold on time-of-day (work vs off hours)
+// learns a separate, much lower bar for the quiet hours — same 1% FP
+// budget, far less room for a nocturnal bot. This extends the paper's
+// per-user diversity one axis further: per-(user, time-of-day) diversity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "features/time_series.hpp"
+#include "stats/empirical.hpp"
+
+namespace monohids::hids {
+
+/// Which conditioning slot a bin belongs to.
+enum class DaySlot : std::uint8_t { WorkHours = 0, OffHours = 1 };
+
+inline constexpr std::size_t kDaySlotCount = 2;
+
+/// Work hours: Monday-Friday, 08:00-19:00 (covers the diurnal plateau and
+/// its shoulders).
+[[nodiscard]] DaySlot slot_of(util::Timestamp t) noexcept;
+
+/// A detector holding one threshold per DaySlot.
+class ConditionalDetector {
+ public:
+  ConditionalDetector() = default;
+  ConditionalDetector(double work_threshold, double off_threshold);
+
+  /// Learns per-slot thresholds at `percentile` from a training series.
+  /// Slots with no samples inherit the other slot's threshold.
+  static ConditionalDetector learn(const features::BinnedSeries& training,
+                                   double percentile);
+
+  [[nodiscard]] double threshold_for(util::Timestamp t) const noexcept {
+    return thresholds_[static_cast<std::size_t>(slot_of(t))];
+  }
+  [[nodiscard]] double threshold(DaySlot slot) const noexcept {
+    return thresholds_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] bool alarms(util::Timestamp t, double value) const noexcept {
+    return value > threshold_for(t);
+  }
+
+  /// Alarm rate over a series (FP rate when the series is benign).
+  [[nodiscard]] double alarm_rate(const features::BinnedSeries& series,
+                                  std::size_t first_bin, std::size_t last_bin) const;
+
+  /// Detection probability of a constant additive attack confined to one
+  /// slot (e.g. a night-time bot), over [first_bin, last_bin).
+  [[nodiscard]] double detection_rate(const features::BinnedSeries& benign,
+                                      std::size_t first_bin, std::size_t last_bin,
+                                      DaySlot attacked_slot, double attack_size) const;
+
+ private:
+  std::array<double, kDaySlotCount> thresholds_{0.0, 0.0};
+};
+
+}  // namespace monohids::hids

@@ -1,0 +1,56 @@
+#include "hids/console.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+CentralConsole::CentralConsole(std::uint32_t user_count, std::uint32_t weeks)
+    : weeks_(weeks), per_user_(user_count, 0), per_week_(weeks, 0) {
+  MONOHIDS_EXPECT(user_count > 0 && weeks > 0, "console needs users and weeks");
+}
+
+void CentralConsole::ingest(const AlertBatch& batch) {
+  MONOHIDS_EXPECT(batch.user_id < per_user_.size(), "alert from unknown user");
+  ++batches_;
+  for (const Alert& alert : batch.alerts) {
+    MONOHIDS_EXPECT(alert.user_id == batch.user_id, "mixed-user batch");
+    ++total_;
+    ++per_user_[alert.user_id];
+    const std::uint32_t week = util::week_of(alert.bin_start);
+    if (week < weeks_) ++per_week_[week];
+    ++per_feature_[features::index_of(alert.feature)];
+  }
+}
+
+std::uint64_t CentralConsole::alerts_of_user(std::uint32_t user) const {
+  MONOHIDS_EXPECT(user < per_user_.size(), "unknown user");
+  return per_user_[user];
+}
+
+std::uint64_t CentralConsole::alerts_in_week(std::uint32_t week) const {
+  MONOHIDS_EXPECT(week < weeks_, "week out of range");
+  return per_week_[week];
+}
+
+std::uint64_t CentralConsole::alerts_of_feature(features::FeatureKind f) const {
+  return per_feature_[features::index_of(f)];
+}
+
+double CentralConsole::mean_alerts_per_week() const {
+  return static_cast<double>(total_) / static_cast<double>(weeks_);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> CentralConsole::noisiest_users(
+    std::size_t count) const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  out.reserve(per_user_.size());
+  for (std::uint32_t u = 0; u < per_user_.size(); ++u) out.emplace_back(u, per_user_[u]);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  out.resize(std::min(count, out.size()));
+  return out;
+}
+
+}  // namespace monohids::hids

@@ -1,0 +1,47 @@
+// The central IT operations console.
+//
+// Receives alert batches from every host, accounts them per user / feature /
+// week, and answers the question behind Table 3: how many (false) alarms
+// land at IT per week under each policy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hids/alerts.hpp"
+
+namespace monohids::hids {
+
+class CentralConsole {
+ public:
+  /// `user_count` sizes the per-user accounting; `weeks` the per-week bins.
+  CentralConsole(std::uint32_t user_count, std::uint32_t weeks);
+
+  /// Ingests one flushed batch.
+  void ingest(const AlertBatch& batch);
+
+  [[nodiscard]] std::uint64_t total_alerts() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t total_batches() const noexcept { return batches_; }
+  [[nodiscard]] std::uint64_t alerts_of_user(std::uint32_t user) const;
+  [[nodiscard]] std::uint64_t alerts_in_week(std::uint32_t week) const;
+  [[nodiscard]] std::uint64_t alerts_of_feature(features::FeatureKind f) const;
+
+  /// Mean alerts per week over the configured horizon.
+  [[nodiscard]] double mean_alerts_per_week() const;
+
+  /// Users sorted by descending alert volume (the "noisy host" report an
+  /// operator would pull first).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>> noisiest_users(
+      std::size_t count) const;
+
+ private:
+  std::uint32_t weeks_;
+  std::vector<std::uint64_t> per_user_;
+  std::vector<std::uint64_t> per_week_;
+  std::array<std::uint64_t, features::kFeatureCount> per_feature_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace monohids::hids

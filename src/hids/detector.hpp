@@ -1,0 +1,69 @@
+// The per-host anomaly detector.
+//
+// One ThresholdDetector watches one feature on one host: an alarm fires for
+// every bin whose observed count strictly exceeds the threshold (the paper's
+// alarm condition g + b > T). A HostHids bundles the six per-feature
+// detectors of one host and streams alarms to an alert sink, mirroring the
+// commercial behavioral HIDS the paper models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "features/time_series.hpp"
+#include "hids/alerts.hpp"
+
+namespace monohids::hids {
+
+class ThresholdDetector {
+ public:
+  ThresholdDetector() = default;
+  explicit ThresholdDetector(double threshold) : threshold_(threshold) {}
+
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  void set_threshold(double t) noexcept { threshold_ = t; }
+
+  /// Alarm predicate for one bin value.
+  [[nodiscard]] bool alarms(double value) const noexcept { return value > threshold_; }
+
+  /// Number of alarming bins in a series slice.
+  [[nodiscard]] std::uint64_t count_alarms(std::span<const double> bins) const noexcept;
+
+  /// Fraction of alarming bins (0 for an empty slice).
+  [[nodiscard]] double alarm_rate(std::span<const double> bins) const noexcept;
+
+ private:
+  double threshold_ = 0.0;
+};
+
+/// All six detectors of one monitored host.
+class HostHids {
+ public:
+  using AlertSink = std::function<void(const Alert&)>;
+
+  /// `user_id` identifies the host in emitted alerts.
+  explicit HostHids(std::uint32_t user_id);
+
+  void configure(features::FeatureKind feature, double threshold);
+  [[nodiscard]] const ThresholdDetector& detector(features::FeatureKind f) const {
+    return detectors_[features::index_of(f)];
+  }
+
+  /// Scans a full feature matrix and emits an Alert for every alarming
+  /// (feature, bin) pair. Returns the number of alerts emitted.
+  std::uint64_t scan(const features::FeatureMatrix& observed, const AlertSink& sink) const;
+
+  /// Scans only bins [first_bin, last_bin) — e.g. one week of a longer
+  /// trace. Alert timestamps stay absolute.
+  std::uint64_t scan_range(const features::FeatureMatrix& observed, std::size_t first_bin,
+                           std::size_t last_bin, const AlertSink& sink) const;
+
+ private:
+  std::uint32_t user_id_;
+  std::array<ThresholdDetector, features::kFeatureCount> detectors_;
+};
+
+}  // namespace monohids::hids

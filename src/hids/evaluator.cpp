@@ -1,0 +1,150 @@
+#include "hids/evaluator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+std::vector<stats::EmpiricalDistribution> week_distributions(
+    std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
+    std::uint32_t week) {
+  std::vector<stats::EmpiricalDistribution> out;
+  out.reserve(users.size());
+  for (const auto& m : users) {
+    const auto slice = m.of(feature).week_slice(week);
+    MONOHIDS_EXPECT(!slice.empty(), "requested week is outside the trace horizon");
+    out.emplace_back(std::vector<double>(slice.begin(), slice.end()));
+  }
+  return out;
+}
+
+std::vector<double> PolicyOutcome::utilities(double w) const {
+  std::vector<double> out;
+  out.reserve(users.size());
+  for (const auto& u : users) out.push_back(u.utility(w));
+  return out;
+}
+
+double PolicyOutcome::mean_utility(double w) const {
+  MONOHIDS_EXPECT(!users.empty(), "no users evaluated");
+  double acc = 0.0;
+  for (const auto& u : users) acc += u.utility(w);
+  return acc / static_cast<double>(users.size());
+}
+
+std::uint64_t PolicyOutcome::total_false_alarms() const {
+  std::uint64_t acc = 0;
+  for (const auto& u : users) acc += u.weekly_false_alarms;
+  return acc;
+}
+
+PolicyOutcome evaluate_policy(std::span<const stats::EmpiricalDistribution> train,
+                              std::span<const stats::EmpiricalDistribution> test,
+                              const Grouper& grouper, const ThresholdHeuristic& heuristic,
+                              const AttackModel& attack) {
+  MONOHIDS_EXPECT(train.size() == test.size(), "train/test population mismatch");
+  const ThresholdAssignment assignment =
+      assign_thresholds(train, grouper, heuristic, &attack);
+
+  PolicyOutcome outcome;
+  outcome.policy_name = grouper.name();
+  outcome.heuristic_name = heuristic.name();
+  outcome.users.resize(train.size());
+  for (std::size_t u = 0; u < train.size(); ++u) {
+    UserOutcome& r = outcome.users[u];
+    r.threshold = assignment.threshold_of_user[u];
+    r.group = assignment.groups.group_of_user[u];
+    r.fp_rate = test[u].exceedance(r.threshold);
+    r.fn_rate = attack.mean_fn(test[u], r.threshold);
+    r.weekly_false_alarms =
+        static_cast<std::uint64_t>(std::llround(r.fp_rate * static_cast<double>(test[u].size())));
+  }
+  return outcome;
+}
+
+PolicyOutcome evaluate_rounds(std::span<const features::FeatureMatrix> users,
+                              features::FeatureKind feature,
+                              std::span<const EvaluationRound> rounds, const Grouper& grouper,
+                              const ThresholdHeuristic& heuristic, const AttackModel& attack) {
+  MONOHIDS_EXPECT(!rounds.empty(), "need at least one evaluation round");
+  PolicyOutcome merged;
+  std::vector<double> fp(users.size(), 0.0), fn(users.size(), 0.0), alarms(users.size(), 0.0);
+
+  for (const EvaluationRound& round : rounds) {
+    const auto train = week_distributions(users, feature, round.train_week);
+    const auto test = week_distributions(users, feature, round.test_week);
+    PolicyOutcome one = evaluate_policy(train, test, grouper, heuristic, attack);
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      fp[u] += one.users[u].fp_rate;
+      fn[u] += one.users[u].fn_rate;
+      alarms[u] += static_cast<double>(one.users[u].weekly_false_alarms);
+    }
+    merged = std::move(one);  // keep last round's thresholds/groups/names
+  }
+
+  const auto n = static_cast<double>(rounds.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    merged.users[u].fp_rate = fp[u] / n;
+    merged.users[u].fn_rate = fn[u] / n;
+    merged.users[u].weekly_false_alarms =
+        static_cast<std::uint64_t>(std::llround(alarms[u] / n));
+  }
+  return merged;
+}
+
+ReplayOutcome evaluate_replay(std::span<const double> benign_test_bins,
+                              std::span<const double> attack_bins, double threshold) {
+  MONOHIDS_EXPECT(benign_test_bins.size() == attack_bins.size(),
+                  "benign/attack bin count mismatch");
+  MONOHIDS_EXPECT(!benign_test_bins.empty(), "empty test window");
+
+  std::uint64_t benign_alarms = 0;
+  std::uint64_t attacked_bins = 0;
+  std::uint64_t detected = 0;
+  for (std::size_t i = 0; i < benign_test_bins.size(); ++i) {
+    if (benign_test_bins[i] > threshold) ++benign_alarms;
+    if (attack_bins[i] > 0.0) {
+      ++attacked_bins;
+      if (benign_test_bins[i] + attack_bins[i] > threshold) ++detected;
+    }
+  }
+  ReplayOutcome out;
+  out.fp_rate = static_cast<double>(benign_alarms) /
+                static_cast<double>(benign_test_bins.size());
+  out.detection_rate = attacked_bins == 0
+                           ? 0.0
+                           : static_cast<double>(detected) / static_cast<double>(attacked_bins);
+  return out;
+}
+
+JointAlarmOutcome joint_alarm_rate(
+    const features::FeatureMatrix& matrix, std::uint32_t week,
+    const std::array<double, features::kFeatureCount>& thresholds) {
+  JointAlarmOutcome outcome;
+  const auto reference = matrix.series.front().week_slice(week);
+  MONOHIDS_EXPECT(!reference.empty(), "week outside the matrix horizon");
+  const std::size_t bins = reference.size();
+
+  std::size_t joint = 0;
+  std::array<std::size_t, features::kFeatureCount> marginal{};
+  for (std::size_t b = 0; b < bins; ++b) {
+    bool any = false;
+    for (features::FeatureKind f : features::kAllFeatures) {
+      const auto i = features::index_of(f);
+      if (matrix.of(f).week_slice(week)[b] > thresholds[i]) {
+        ++marginal[i];
+        any = true;
+      }
+    }
+    if (any) ++joint;
+  }
+  outcome.joint_fp_rate = static_cast<double>(joint) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    outcome.per_feature[i] = static_cast<double>(marginal[i]) / static_cast<double>(bins);
+    outcome.sum_of_marginals += outcome.per_feature[i];
+  }
+  return outcome;
+}
+
+}  // namespace monohids::hids

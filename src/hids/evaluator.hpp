@@ -1,0 +1,103 @@
+// Policy evaluation (paper §6 methodology).
+//
+// Thresholds are learned on one week and applied to the next; each user
+// then experiences an operating point (FP_i, FN_i):
+//   FP_i = P(g_test > T_i)                    — benign test bins that alarm,
+//   FN_i = E_b[ P(g_test + b <= T_i) ]        — misses over the attack sweep,
+//   U_i  = 1 − [w·FN_i + (1−w)·FP_i]          — the paper's utility.
+// evaluate_policy() produces these for every user under one
+// (grouper, heuristic) policy; evaluate_rounds() averages over several
+// train→test week pairs (the paper uses wk1→wk2 and wk3→wk4).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/time_series.hpp"
+#include "hids/threshold_policy.hpp"
+
+namespace monohids::hids {
+
+/// Builds each user's empirical distribution of `feature` over `week` from
+/// their feature matrices.
+[[nodiscard]] std::vector<stats::EmpiricalDistribution> week_distributions(
+    std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
+    std::uint32_t week);
+
+struct UserOutcome {
+  double threshold = 0.0;
+  std::uint32_t group = 0;
+  double fp_rate = 0.0;
+  double fn_rate = 0.0;
+  std::uint64_t weekly_false_alarms = 0;
+
+  [[nodiscard]] double detection_rate() const noexcept { return 1.0 - fn_rate; }
+  [[nodiscard]] double utility(double w) const noexcept {
+    return 1.0 - (w * fn_rate + (1.0 - w) * fp_rate);
+  }
+};
+
+struct PolicyOutcome {
+  std::string policy_name;
+  std::string heuristic_name;
+  std::vector<UserOutcome> users;
+
+  [[nodiscard]] std::vector<double> utilities(double w) const;
+  [[nodiscard]] double mean_utility(double w) const;
+  [[nodiscard]] std::uint64_t total_false_alarms() const;
+};
+
+/// Evaluates one policy for one train→test round.
+[[nodiscard]] PolicyOutcome evaluate_policy(
+    std::span<const stats::EmpiricalDistribution> train,
+    std::span<const stats::EmpiricalDistribution> test, const Grouper& grouper,
+    const ThresholdHeuristic& heuristic, const AttackModel& attack);
+
+/// One train→test week pair.
+struct EvaluationRound {
+  std::uint32_t train_week = 0;
+  std::uint32_t test_week = 1;
+};
+
+/// Runs several rounds and averages each user's outcomes across rounds
+/// (thresholds/groups reported from the last round; alarm counts are
+/// per-week means rounded to the nearest integer).
+[[nodiscard]] PolicyOutcome evaluate_rounds(
+    std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
+    std::span<const EvaluationRound> rounds, const Grouper& grouper,
+    const ThresholdHeuristic& heuristic, const AttackModel& attack);
+
+/// Replay outcome for a real attack overlaid on the test week: detection is
+/// measured only on bins where the attack is active (b > 0).
+struct ReplayOutcome {
+  double fp_rate = 0.0;
+  double detection_rate = 0.0;
+};
+
+[[nodiscard]] ReplayOutcome evaluate_replay(std::span<const double> benign_test_bins,
+                                            std::span<const double> attack_bins,
+                                            double threshold);
+
+/// Joint (any-of-six-features) alarm analysis. A behavioral HIDS watches
+/// all features concurrently and pages on any exceedance, so the user-felt
+/// false-positive rate is the JOINT rate — strictly above every single
+/// feature's, but below their sum when features co-fire within a bin
+/// (bursts raise several counters at once).
+struct JointAlarmOutcome {
+  double joint_fp_rate = 0.0;                              ///< P(any feature fires)
+  std::array<double, features::kFeatureCount> per_feature{};  ///< marginal rates
+  double sum_of_marginals = 0.0;
+  /// sum_of_marginals / joint: >1 means features co-fire (alarms cluster in
+  /// the same bins), the dedup factor an IT console experiences.
+  [[nodiscard]] double coincidence_factor() const noexcept {
+    return joint_fp_rate > 0.0 ? sum_of_marginals / joint_fp_rate : 1.0;
+  }
+};
+
+/// Scans `week` of one host's matrix against per-feature thresholds.
+[[nodiscard]] JointAlarmOutcome joint_alarm_rate(
+    const features::FeatureMatrix& matrix, std::uint32_t week,
+    const std::array<double, features::kFeatureCount>& thresholds);
+
+}  // namespace monohids::hids

@@ -1,0 +1,89 @@
+// Threshold-selection heuristics (paper §4).
+//
+// A heuristic maps a (possibly pooled) training distribution to a single
+// detector threshold. The paper examines percentile detectors (the
+// IT-survey favorite: 99th percentile), mean + k·sigma outlier rules,
+// F-measure-optimal and utility-optimal thresholds; the latter two need an
+// attack model to estimate false negatives.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hids/attack_model.hpp"
+#include "stats/empirical.hpp"
+
+namespace monohids::hids {
+
+class ThresholdHeuristic {
+ public:
+  virtual ~ThresholdHeuristic() = default;
+
+  /// Computes a threshold from training data. `attack` may be null for
+  /// heuristics that do not model false negatives; FN-aware heuristics
+  /// throw PreconditionError when it is missing.
+  [[nodiscard]] virtual double compute(const stats::EmpiricalDistribution& training,
+                                       const AttackModel* attack) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// T = the q-th percentile of the training distribution. The paper's
+/// operator survey found ~99th percentile to be the common choice: it caps
+/// the training false-positive rate at 1 − q by construction.
+class PercentileHeuristic final : public ThresholdHeuristic {
+ public:
+  explicit PercentileHeuristic(double q);
+  [[nodiscard]] double compute(const stats::EmpiricalDistribution& training,
+                               const AttackModel* attack) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double percentile() const noexcept { return q_; }
+
+ private:
+  double q_;
+};
+
+/// T = mean + k·sigma of the training distribution.
+class MeanSigmaHeuristic final : public ThresholdHeuristic {
+ public:
+  explicit MeanSigmaHeuristic(double k);
+  [[nodiscard]] double compute(const stats::EmpiricalDistribution& training,
+                               const AttackModel* attack) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double k_;
+};
+
+/// T maximizing the F-measure of attack detection on the training data:
+/// positives are (training + b) samples for each attack size b, negatives
+/// are the raw training samples.
+class FMeasureHeuristic final : public ThresholdHeuristic {
+ public:
+  FMeasureHeuristic() = default;
+  [[nodiscard]] double compute(const stats::EmpiricalDistribution& training,
+                               const AttackModel* attack) const override;
+  [[nodiscard]] std::string name() const override;
+};
+
+/// T maximizing the paper's utility U(T) = 1 − [w·FN(T) + (1−w)·FP(T)]
+/// estimated on the training data (Fig. 3's "utility heuristic", default
+/// w = 0.4).
+class UtilityHeuristic final : public ThresholdHeuristic {
+ public:
+  explicit UtilityHeuristic(double w);
+  [[nodiscard]] double compute(const stats::EmpiricalDistribution& training,
+                               const AttackModel* attack) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double weight() const noexcept { return w_; }
+
+ private:
+  double w_;
+};
+
+/// Candidate thresholds shared by the optimizing heuristics: the unique
+/// training values plus one step beyond the maximum.
+[[nodiscard]] std::vector<double> candidate_thresholds(
+    const stats::EmpiricalDistribution& training);
+
+}  // namespace monohids::hids

@@ -1,0 +1,93 @@
+#include "hids/online_learner.hpp"
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+std::string_view name_of(EstimatorKind kind) noexcept {
+  switch (kind) {
+    case EstimatorKind::Exact: return "exact";
+    case EstimatorKind::P2: return "p2";
+    case EstimatorKind::Gk: return "gk";
+  }
+  return "unknown";
+}
+
+OnlineThresholdLearner::OnlineThresholdLearner(double percentile, EstimatorKind kind,
+                                               double gk_epsilon)
+    : percentile_(percentile), kind_(kind) {
+  MONOHIDS_EXPECT(percentile > 0.0 && percentile < 1.0, "percentile must be in (0,1)");
+  for (auto& s : state_) {
+    switch (kind_) {
+      case EstimatorKind::Exact:
+        break;
+      case EstimatorKind::P2:
+        s.p2 = std::make_unique<stats::P2Quantile>(percentile);
+        break;
+      case EstimatorKind::Gk:
+        s.gk = std::make_unique<stats::GkSketch>(gk_epsilon);
+        break;
+    }
+  }
+}
+
+void OnlineThresholdLearner::observe(features::FeatureKind feature, double bin_count) {
+  PerFeature& s = state_[features::index_of(feature)];
+  ++s.count;
+  switch (kind_) {
+    case EstimatorKind::Exact:
+      s.exact.push_back(bin_count);
+      break;
+    case EstimatorKind::P2:
+      s.p2->add(bin_count);
+      break;
+    case EstimatorKind::Gk:
+      s.gk->add(bin_count);
+      break;
+  }
+}
+
+void OnlineThresholdLearner::observe_series(features::FeatureKind feature,
+                                            std::span<const double> bins) {
+  for (double v : bins) observe(feature, v);
+}
+
+double OnlineThresholdLearner::threshold(features::FeatureKind feature) const {
+  const PerFeature& s = state_[features::index_of(feature)];
+  MONOHIDS_EXPECT(s.count > 0, "no observations for this feature yet");
+  switch (kind_) {
+    case EstimatorKind::Exact:
+      return stats::quantile_nearest_rank(s.exact, percentile_);
+    case EstimatorKind::P2:
+      return s.p2->value();
+    case EstimatorKind::Gk:
+      return s.gk->quantile(percentile_);
+  }
+  return 0.0;
+}
+
+std::uint64_t OnlineThresholdLearner::observations(features::FeatureKind feature) const {
+  return state_[features::index_of(feature)].count;
+}
+
+std::size_t OnlineThresholdLearner::memory_footprint_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& s : state_) {
+    switch (kind_) {
+      case EstimatorKind::Exact:
+        total += s.exact.capacity() * sizeof(double);
+        break;
+      case EstimatorKind::P2:
+        total += sizeof(stats::P2Quantile);
+        break;
+      case EstimatorKind::Gk:
+        // three 64-bit fields per retained tuple
+        total += sizeof(stats::GkSketch) + s.gk->tuple_count() * 3 * sizeof(std::uint64_t);
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace monohids::hids

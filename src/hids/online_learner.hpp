@@ -1,0 +1,66 @@
+// On-host streaming threshold learning.
+//
+// The paper's full-diversity policy computes thresholds "all done locally"
+// on the end host. A deployed agent should not buffer a week of bin counts
+// per feature; this learner tracks the target percentile of all six
+// features online with bounded memory, using either the exact buffer (the
+// reference), a P² estimator (five markers per feature), or a
+// Greenwald-Khanna sketch (ε-approximate, answers any percentile).
+// bench/ablation_streaming quantifies the accuracy/memory trade-off.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "features/time_series.hpp"
+#include "stats/gk_sketch.hpp"
+#include "stats/p2_quantile.hpp"
+
+namespace monohids::hids {
+
+enum class EstimatorKind : std::uint8_t {
+  Exact,  ///< buffer everything (reference; O(n) memory)
+  P2,     ///< Jain-Chlamtac P² (O(1) memory, fixed percentile)
+  Gk,     ///< Greenwald-Khanna (O((1/eps) log(eps n)) memory, any percentile)
+};
+
+[[nodiscard]] std::string_view name_of(EstimatorKind kind) noexcept;
+
+class OnlineThresholdLearner {
+ public:
+  /// Learns the `percentile` threshold of each feature. `gk_epsilon` only
+  /// applies to the Gk estimator.
+  OnlineThresholdLearner(double percentile, EstimatorKind kind, double gk_epsilon = 0.005);
+
+  /// Feeds one finished bin's count for a feature.
+  void observe(features::FeatureKind feature, double bin_count);
+
+  /// Feeds a whole series (e.g. a training week) for a feature.
+  void observe_series(features::FeatureKind feature, std::span<const double> bins);
+
+  /// Current threshold estimate; requires at least one observation.
+  [[nodiscard]] double threshold(features::FeatureKind feature) const;
+
+  [[nodiscard]] std::uint64_t observations(features::FeatureKind feature) const;
+  [[nodiscard]] EstimatorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] double percentile() const noexcept { return percentile_; }
+
+  /// Approximate resident memory of the estimator state, in bytes — the
+  /// deployment cost the streaming estimators exist to bound.
+  [[nodiscard]] std::size_t memory_footprint_bytes() const;
+
+ private:
+  struct PerFeature {
+    std::vector<double> exact;
+    std::unique_ptr<stats::P2Quantile> p2;
+    std::unique_ptr<stats::GkSketch> gk;
+    std::uint64_t count = 0;
+  };
+
+  double percentile_;
+  EstimatorKind kind_;
+  std::array<PerFeature, features::kFeatureCount> state_;
+};
+
+}  // namespace monohids::hids

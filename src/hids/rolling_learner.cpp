@@ -1,0 +1,40 @@
+#include "hids/rolling_learner.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+RollingThresholdLearner::RollingThresholdLearner(RollingLearnerConfig config)
+    : config_(config) {
+  MONOHIDS_EXPECT(config_.window_bins > 0, "window must be non-empty");
+  MONOHIDS_EXPECT(config_.percentile > 0.0 && config_.percentile < 1.0,
+                  "percentile must be in (0,1)");
+  MONOHIDS_EXPECT(config_.warmup_bins > 0, "warmup must be positive");
+}
+
+bool RollingThresholdLearner::observe(double bin_count) {
+  const double t = threshold();
+  const bool alarmed = bin_count > t;
+  if (alarmed) ++alarms_;
+  ++observed_;
+
+  if (!(alarmed && config_.exclude_alarms)) {
+    window_.push_back(bin_count);
+    if (window_.size() > config_.window_bins) window_.pop_front();
+  }
+  return alarmed;
+}
+
+double RollingThresholdLearner::threshold() const {
+  if (window_.size() < config_.warmup_bins) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::vector<double> samples(window_.begin(), window_.end());
+  return stats::quantile_nearest_rank(samples, config_.percentile);
+}
+
+}  // namespace monohids::hids

@@ -1,0 +1,73 @@
+#include "hids/summary_shipping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+double QuantileSummary::grid_probability(std::size_t i, std::size_t points) {
+  MONOHIDS_EXPECT(points >= 4, "a summary needs at least four grid points");
+  MONOHIDS_EXPECT(i < points, "grid slot out of range");
+  const std::size_t body = points / 2;  // slots 0..body cover [0, 0.9]
+  if (i <= body) {
+    return 0.9 * static_cast<double>(i) / static_cast<double>(body);
+  }
+  return 0.9 + 0.1 * static_cast<double>(i - body) / static_cast<double>(points - 1 - body);
+}
+
+QuantileSummary QuantileSummary::from_samples(std::span<const double> samples,
+                                              std::size_t points) {
+  MONOHIDS_EXPECT(!samples.empty(), "cannot summarize an empty sample");
+  MONOHIDS_EXPECT(points >= 4, "a summary needs at least four grid points");
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  QuantileSummary summary;
+  summary.sample_count_ = samples.size();
+  summary.values_.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    summary.values_.push_back(
+        stats::quantile_interpolated_sorted(sorted, grid_probability(i, points)));
+  }
+  return summary;
+}
+
+std::vector<double> QuantileSummary::reconstruct(std::size_t resolution) const {
+  MONOHIDS_EXPECT(!values_.empty(), "reconstructing an empty summary");
+  MONOHIDS_EXPECT(resolution >= 1, "resolution must be positive");
+
+  // Inverse-CDF interpolation on the (non-uniform) stored grid.
+  const std::size_t points = values_.size();
+  std::vector<double> samples;
+  samples.reserve(resolution);
+  std::size_t slot = 0;  // targets are increasing: walk the grid once
+  for (std::size_t i = 0; i < resolution; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(resolution);
+    while (slot + 2 < points && grid_probability(slot + 1, points) < q) ++slot;
+    const double q_lo = grid_probability(slot, points);
+    const double q_hi = grid_probability(slot + 1, points);
+    const double frac = std::clamp((q - q_lo) / (q_hi - q_lo), 0.0, 1.0);
+    samples.push_back(values_[slot] + frac * (values_[slot + 1] - values_[slot]));
+  }
+  return samples;
+}
+
+stats::EmpiricalDistribution pooled_from_summaries(
+    std::span<const QuantileSummary> summaries) {
+  MONOHIDS_EXPECT(!summaries.empty(), "no summaries to pool");
+  std::vector<double> pooled;
+  for (const QuantileSummary& s : summaries) {
+    // Resolution tracks the original evidence so hosts keep their weight in
+    // the pooled percentile, exactly as raw pooling would.
+    const auto resolution = static_cast<std::size_t>(s.sample_count());
+    const auto samples = s.reconstruct(std::max<std::size_t>(1, resolution));
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+  }
+  return stats::EmpiricalDistribution(std::move(pooled));
+}
+
+}  // namespace monohids::hids

@@ -1,0 +1,60 @@
+// Compact distribution shipping for centralized policies.
+//
+// The homogeneous and partial-diversity policies require "each end-host
+// [to] compute its traffic probability distribution and ship it off to the
+// central console" (paper §4) — for a 15-minute-binned week that is 672
+// doubles per feature per host. A QuantileSummary ships a fixed-size grid
+// of quantile values instead; the console reconstructs a weighted
+// approximation of each host's distribution and pools those. The
+// ext_management_cost bench quantifies the bandwidth/threshold-accuracy
+// trade-off this enables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/empirical.hpp"
+
+namespace monohids::hids {
+
+class QuantileSummary {
+ public:
+  QuantileSummary() = default;
+
+  /// Summarizes `samples` at `points` grid probabilities (>= 4). The grid
+  /// is tail-densified: half the points cover [0, 0.9] uniformly, the other
+  /// half resolve (0.9, 1] — thresholds live in the extreme tail, so that
+  /// is where reconstruction accuracy matters.
+  static QuantileSummary from_samples(std::span<const double> samples, std::size_t points);
+
+  /// The probability assigned to grid slot `i` of a `points`-sized grid.
+  [[nodiscard]] static double grid_probability(std::size_t i, std::size_t points);
+
+  [[nodiscard]] std::uint64_t sample_count() const noexcept { return sample_count_; }
+  [[nodiscard]] std::size_t point_count() const noexcept { return values_.size(); }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  /// Wire size: the quantile grid plus the sample count.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return values_.size() * sizeof(double) + sizeof(std::uint64_t);
+  }
+
+  /// Expands the summary back into `resolution` representative samples by
+  /// inverse-CDF interpolation — the console-side approximation of the
+  /// host's distribution.
+  [[nodiscard]] std::vector<double> reconstruct(std::size_t resolution) const;
+
+ private:
+  std::vector<double> values_;  // quantile values at i/(points-1)
+  std::uint64_t sample_count_ = 0;
+};
+
+/// Console-side pooling: reconstructs every host's distribution with a
+/// resolution proportional to its sample count (so heavy evidence keeps its
+/// weight) and merges them — the compact-summary analogue of
+/// EmpiricalDistribution::merge over raw data.
+[[nodiscard]] stats::EmpiricalDistribution pooled_from_summaries(
+    std::span<const QuantileSummary> summaries);
+
+}  // namespace monohids::hids

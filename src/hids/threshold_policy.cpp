@@ -1,0 +1,61 @@
+#include "hids/threshold_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+
+ThresholdAssignment assign_thresholds(
+    std::span<const stats::EmpiricalDistribution> training_users, const Grouper& grouper,
+    const ThresholdHeuristic& heuristic, const AttackModel* attack) {
+  MONOHIDS_EXPECT(!training_users.empty(), "empty population");
+
+  ThresholdAssignment out;
+  out.groups = grouper.assign(training_users);
+  MONOHIDS_EXPECT(out.groups.group_of_user.size() == training_users.size(),
+                  "grouper returned the wrong population size");
+
+  const auto members = out.groups.members();
+  out.threshold_of_group.resize(out.groups.group_count);
+  for (std::uint32_t g = 0; g < out.groups.group_count; ++g) {
+    MONOHIDS_EXPECT(!members[g].empty(), "grouper produced an empty group");
+    if (members[g].size() == 1) {
+      out.threshold_of_group[g] =
+          heuristic.compute(training_users[members[g].front()], attack);
+      continue;
+    }
+    std::vector<stats::EmpiricalDistribution> parts;
+    parts.reserve(members[g].size());
+    for (std::uint32_t u : members[g]) parts.push_back(training_users[u]);
+    const auto pooled = stats::EmpiricalDistribution::merge(parts);
+    out.threshold_of_group[g] = heuristic.compute(pooled, attack);
+  }
+
+  out.threshold_of_user.resize(training_users.size());
+  for (std::size_t u = 0; u < training_users.size(); ++u) {
+    out.threshold_of_user[u] = out.threshold_of_group[out.groups.group_of_user[u]];
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> best_users(const ThresholdAssignment& assignment,
+                                      std::size_t count,
+                                      std::span<const double> tiebreak) {
+  MONOHIDS_EXPECT(tiebreak.empty() || tiebreak.size() == assignment.threshold_of_user.size(),
+                  "tiebreak vector must match the population");
+  std::vector<std::uint32_t> order(assignment.threshold_of_user.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ta = assignment.threshold_of_user[a];
+    const double tb = assignment.threshold_of_user[b];
+    if (ta != tb) return ta < tb;
+    if (!tiebreak.empty() && tiebreak[a] != tiebreak[b]) return tiebreak[a] < tiebreak[b];
+    return a < b;
+  });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace monohids::hids

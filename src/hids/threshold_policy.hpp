@@ -1,0 +1,43 @@
+// Policy = grouping + threshold heuristic (paper §4).
+//
+// assign_thresholds() is the heart of the reproduction: it partitions the
+// population with a Grouper, pools each group's training distributions at
+// the "central console" (exactly what the paper's homogeneous and partial
+// scenarios do), applies the heuristic to each pooled distribution, and
+// hands every member of the group the same threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hids/grouping.hpp"
+#include "hids/heuristics.hpp"
+
+namespace monohids::hids {
+
+struct ThresholdAssignment {
+  std::vector<double> threshold_of_user;      // per user
+  std::vector<double> threshold_of_group;     // per group
+  GroupAssignment groups;
+
+  [[nodiscard]] double threshold(std::uint32_t user) const {
+    return threshold_of_user.at(user);
+  }
+};
+
+/// Computes thresholds for every user under (grouper, heuristic). `attack`
+/// is forwarded to FN-aware heuristics and may be null otherwise.
+[[nodiscard]] ThresholdAssignment assign_thresholds(
+    std::span<const stats::EmpiricalDistribution> training_users, const Grouper& grouper,
+    const ThresholdHeuristic& heuristic, const AttackModel* attack = nullptr);
+
+/// The `count` users with the lowest assigned thresholds — the paper's
+/// "best users" for detecting stealthy anomalies of this feature (Table 2).
+/// Group policies hand many users identical thresholds; `tiebreak` (one
+/// value per user, typically the personal training quantile) orders those
+/// ties by actual host sensitivity. Empty tiebreak falls back to user id.
+[[nodiscard]] std::vector<std::uint32_t> best_users(const ThresholdAssignment& assignment,
+                                                    std::size_t count,
+                                                    std::span<const double> tiebreak = {});
+
+}  // namespace monohids::hids

@@ -1,0 +1,36 @@
+#include "net/classify.hpp"
+
+namespace monohids::net {
+
+Service classify(const FiveTuple& tuple) noexcept {
+  switch (tuple.protocol) {
+    case Protocol::Tcp:
+      switch (tuple.dst_port) {
+        case ports::kDns: return Service::Dns;
+        case ports::kHttp: return Service::Http;
+        case ports::kHttps: return Service::Https;
+        case ports::kSmtp: return Service::Smtp;
+        default: return Service::OtherTcp;
+      }
+    case Protocol::Udp:
+      return tuple.dst_port == ports::kDns ? Service::Dns : Service::OtherUdp;
+    case Protocol::Icmp:
+      return Service::OtherIcmp;
+  }
+  return Service::OtherTcp;
+}
+
+std::string to_string(Service s) {
+  switch (s) {
+    case Service::Dns: return "dns";
+    case Service::Http: return "http";
+    case Service::Https: return "https";
+    case Service::Smtp: return "smtp";
+    case Service::OtherTcp: return "other-tcp";
+    case Service::OtherUdp: return "other-udp";
+    case Service::OtherIcmp: return "other-icmp";
+  }
+  return "unknown";
+}
+
+}  // namespace monohids::net

@@ -1,0 +1,36 @@
+// Application-service classification.
+//
+// The Table-1 features distinguish DNS, HTTP and generic TCP/UDP traffic;
+// like Bro's default policy (and the commercial HIDS the paper cites), we
+// classify flows by destination transport port.
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace monohids::net {
+
+/// Well-known service ports used by the classifier and the trace generator.
+namespace ports {
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kHttpAlt = 8080;
+inline constexpr std::uint16_t kSmtp = 25;
+}  // namespace ports
+
+/// Application service of a flow, derived from protocol + destination port.
+enum class Service : std::uint8_t {
+  Dns,        ///< UDP or TCP to port 53
+  Http,       ///< TCP to port 80 (the paper's "TCP connections on port 80")
+  Https,      ///< TCP to port 443
+  Smtp,       ///< TCP to port 25 (Storm spam relays)
+  OtherTcp,
+  OtherUdp,
+  OtherIcmp,
+};
+
+[[nodiscard]] Service classify(const FiveTuple& tuple) noexcept;
+
+[[nodiscard]] std::string to_string(Service s);
+
+}  // namespace monohids::net

@@ -1,0 +1,137 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace monohids::net {
+
+FlowTable::FlowTable(Ipv4Address monitored, FlowTableConfig config)
+    : monitored_(monitored), config_(config) {
+  MONOHIDS_EXPECT(config_.tcp_idle_timeout > 0 && config_.udp_idle_timeout > 0,
+                  "idle timeouts must be positive");
+}
+
+void FlowTable::process(const PacketRecord& packet) {
+  const FiveTuple& t = packet.tuple;
+  MONOHIDS_EXPECT(t.src_ip == monitored_ || t.dst_ip == monitored_,
+                  "packet does not involve the monitored host");
+  MONOHIDS_EXPECT(packet.timestamp >= clock_, "packets must be time-ordered");
+  clock_ = packet.timestamp;
+  ++stats_.packets_processed;
+
+  const bool is_tcp = t.protocol == Protocol::Tcp;
+  const bool is_syn = is_tcp && has_flag(packet.tcp_flags, TcpFlags::Syn) &&
+                      !has_flag(packet.tcp_flags, TcpFlags::Ack);
+  if (is_syn) ++stats_.syn_packets;
+
+  sweep(packet.timestamp);
+
+  // Locate the flow under either orientation.
+  auto it = flows_.find(t);
+  bool from_initiator = true;
+  if (it == flows_.end()) {
+    it = flows_.find(t.reversed());
+    from_initiator = false;
+  }
+
+  if (it == flows_.end()) {
+    // New flow. For TCP we require a SYN to open a connection; stray non-SYN
+    // TCP packets (e.g. late FINs of evicted flows) are counted but do not
+    // create a connection Start.
+    if (is_tcp && !is_syn) return;
+    Flow flow;
+    flow.first_seen = packet.timestamp;
+    flow.last_seen = packet.timestamp;
+    flow.packets = 1;
+    flow.initiated_by_monitored = (t.src_ip == monitored_);
+    flow.tcp_state = TcpState::SynSent;
+    flows_.emplace(t, flow);
+    ++stats_.flows_created;
+    events_.push_back(FlowEvent{packet.timestamp, t, FlowEventKind::Start, FlowEndReason::None,
+                                flow.initiated_by_monitored, 0});
+    return;
+  }
+
+  Flow& flow = it->second;
+  flow.last_seen = packet.timestamp;
+  ++flow.packets;
+
+  if (!is_tcp) return;
+
+  if (has_flag(packet.tcp_flags, TcpFlags::Rst)) {
+    const FiveTuple key = it->first;
+    const Flow ended = flow;
+    flows_.erase(it);
+    ++stats_.flows_ended_rst;
+    end_flow(key, ended, packet.timestamp, FlowEndReason::Rst);
+    return;
+  }
+
+  if (flow.tcp_state == TcpState::SynSent && has_flag(packet.tcp_flags, TcpFlags::Ack)) {
+    flow.tcp_state = TcpState::Established;
+  }
+
+  if (has_flag(packet.tcp_flags, TcpFlags::Fin)) {
+    flow.tcp_state = TcpState::FinSeen;
+    if (from_initiator) {
+      flow.fin_from_initiator = true;
+    } else {
+      flow.fin_from_responder = true;
+    }
+    if (flow.fin_from_initiator && flow.fin_from_responder) {
+      const FiveTuple key = it->first;
+      const Flow ended = flow;
+      flows_.erase(it);
+      ++stats_.flows_ended_fin;
+      end_flow(key, ended, packet.timestamp, FlowEndReason::Fin);
+    }
+  }
+}
+
+void FlowTable::advance_to(util::Timestamp now) {
+  MONOHIDS_EXPECT(now >= clock_, "clock cannot move backwards");
+  clock_ = now;
+  sweep(now);
+}
+
+void FlowTable::flush(util::Timestamp now) {
+  MONOHIDS_EXPECT(now >= clock_, "clock cannot move backwards");
+  clock_ = now;
+  for (const auto& [key, flow] : flows_) {
+    ++stats_.flows_ended_timeout;
+    end_flow(key, flow, now, FlowEndReason::IdleTimeout);
+  }
+  flows_.clear();
+}
+
+void FlowTable::sweep(util::Timestamp now) {
+  if (now - last_sweep_ < config_.sweep_interval) return;
+  last_sweep_ = now;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    const util::Duration timeout = it->first.protocol == Protocol::Tcp
+                                       ? config_.tcp_idle_timeout
+                                       : config_.udp_idle_timeout;
+    if (now - it->second.last_seen >= timeout) {
+      ++stats_.flows_ended_timeout;
+      end_flow(it->first, it->second, now, FlowEndReason::IdleTimeout);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowTable::end_flow(const FiveTuple& key, const Flow& flow, util::Timestamp at,
+                         FlowEndReason reason) {
+  events_.push_back(FlowEvent{at, key, FlowEventKind::End, reason,
+                              flow.initiated_by_monitored, flow.packets});
+}
+
+std::vector<FlowEvent> FlowTable::drain_events() {
+  std::vector<FlowEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace monohids::net

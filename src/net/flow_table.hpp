@@ -1,0 +1,102 @@
+// Connection tracking.
+//
+// Bro turns packets into connections before any feature is counted; this
+// flow table is our equivalent. It consumes a time-ordered packet stream
+// observed at one end host and emits FlowEvents:
+//   - Start: a new connection attempt was initiated (TCP SYN creating a new
+//     flow, or the first packet of a new UDP/ICMP flow),
+//   - End: the flow terminated (TCP FIN/RST or idle timeout).
+// The six study features are all counters over Start events plus raw SYN
+// packets, so correctness here decides feature fidelity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace monohids::net {
+
+enum class FlowEventKind : std::uint8_t { Start, End };
+
+/// Why a flow ended (meaningful for End events).
+enum class FlowEndReason : std::uint8_t { None, Fin, Rst, IdleTimeout };
+
+struct FlowEvent {
+  util::Timestamp timestamp = 0;
+  FiveTuple tuple;  ///< oriented from the initiator
+  FlowEventKind kind = FlowEventKind::Start;
+  FlowEndReason end_reason = FlowEndReason::None;
+  bool initiated_by_monitored_host = false;
+  std::uint64_t packets = 0;  ///< total packets (both directions), End only
+};
+
+struct FlowTableConfig {
+  util::Duration tcp_idle_timeout = 5 * util::kMicrosPerMinute;
+  util::Duration udp_idle_timeout = 1 * util::kMicrosPerMinute;
+  /// How often expired flows are swept, in simulated time.
+  util::Duration sweep_interval = 30 * util::kMicrosPerSecond;
+};
+
+struct FlowTableStats {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t flows_created = 0;
+  std::uint64_t flows_ended_fin = 0;
+  std::uint64_t flows_ended_rst = 0;
+  std::uint64_t flows_ended_timeout = 0;
+  std::uint64_t syn_packets = 0;  ///< raw SYN (non-SYN/ACK) packets seen
+};
+
+/// Tracks flows for a single monitored host.
+class FlowTable {
+ public:
+  /// `monitored` is the end host whose HIDS this table serves; packets where
+  /// neither endpoint is `monitored` are rejected (PreconditionError).
+  FlowTable(Ipv4Address monitored, FlowTableConfig config = {});
+
+  /// Processes one packet. Packets must be fed in non-decreasing timestamp
+  /// order. Generated events accumulate until drain_events().
+  void process(const PacketRecord& packet);
+
+  /// Advances the clock without a packet (e.g. to the end of the trace) so
+  /// idle flows time out.
+  void advance_to(util::Timestamp now);
+
+  /// Ends every remaining flow (trace EOF) with IdleTimeout reason.
+  void flush(util::Timestamp now);
+
+  /// Moves out accumulated events (in emission order) and clears the buffer.
+  [[nodiscard]] std::vector<FlowEvent> drain_events();
+
+  [[nodiscard]] const FlowTableStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] Ipv4Address monitored() const noexcept { return monitored_; }
+
+ private:
+  enum class TcpState : std::uint8_t { SynSent, Established, FinSeen };
+
+  struct Flow {
+    util::Timestamp first_seen = 0;
+    util::Timestamp last_seen = 0;
+    std::uint64_t packets = 0;
+    bool initiated_by_monitored = false;
+    TcpState tcp_state = TcpState::SynSent;  // TCP only
+    bool fin_from_initiator = false;
+    bool fin_from_responder = false;
+  };
+
+  void sweep(util::Timestamp now);
+  void end_flow(const FiveTuple& key, const Flow& flow, util::Timestamp at,
+                FlowEndReason reason);
+
+  Ipv4Address monitored_;
+  FlowTableConfig config_;
+  std::unordered_map<FiveTuple, Flow> flows_;  // keyed by initiator-oriented tuple
+  std::vector<FlowEvent> events_;
+  FlowTableStats stats_;
+  util::Timestamp last_sweep_ = 0;
+  util::Timestamp clock_ = 0;
+};
+
+}  // namespace monohids::net

@@ -1,0 +1,81 @@
+// IPv4 addresses and prefixes.
+//
+// The trace substrate addresses hosts the way the original study's packet
+// headers did: end hosts live in an enterprise /16, servers and attack
+// destinations live in public ranges. Addresses are value types over a
+// host-order uint32.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace monohids::net {
+
+/// An IPv4 address (host byte order internally).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) noexcept : value_(host_order) {}
+
+  /// Builds from dotted octets, e.g. Ipv4Address::from_octets(10, 1, 2, 3).
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad text; throws InputError on malformed input.
+  static Ipv4Address parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad rendering, e.g. "10.1.2.3".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 10.0.0.0/8.
+class Ipv4Prefix {
+ public:
+  /// `length` in [0, 32]; host bits of `base` are masked off.
+  Ipv4Prefix(Ipv4Address base, int length);
+
+  /// Parses "a.b.c.d/len".
+  static Ipv4Prefix parse(std::string_view text);
+
+  [[nodiscard]] Ipv4Address base() const noexcept { return base_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept;
+  [[nodiscard]] bool contains(Ipv4Address addr) const noexcept;
+
+  /// Number of addresses in the prefix (2^(32-len)), as uint64 to hold /0.
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// The `index`-th address inside the prefix (index < size()).
+  [[nodiscard]] Ipv4Address address_at(std::uint64_t index) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ipv4Address base_;
+  int length_;
+};
+
+}  // namespace monohids::net
+
+template <>
+struct std::hash<monohids::net::Ipv4Address> {
+  std::size_t operator()(monohids::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,14 @@
+#include "net/packet.hpp"
+
+namespace monohids::net {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::Tcp: return "tcp";
+    case Protocol::Udp: return "udp";
+    case Protocol::Icmp: return "icmp";
+  }
+  return "proto-" + std::to_string(static_cast<int>(p));
+}
+
+}  // namespace monohids::net

@@ -1,0 +1,84 @@
+// Packet-level primitives: protocols, TCP flags, 5-tuples, packet records.
+//
+// The trace generator emits PacketRecords (the moral equivalent of the
+// windump packet headers the paper collected on each laptop) and the feature
+// pipeline consumes them through the flow table — features are computed from
+// packets, not synthesized directly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "util/sim_time.hpp"
+
+namespace monohids::net {
+
+/// Transport protocol (the subset the study's features need).
+enum class Protocol : std::uint8_t { Tcp = 6, Udp = 17, Icmp = 1 };
+
+[[nodiscard]] std::string to_string(Protocol p);
+
+/// TCP header flags as a bitmask.
+enum class TcpFlags : std::uint8_t {
+  None = 0,
+  Fin = 1 << 0,
+  Syn = 1 << 1,
+  Rst = 1 << 2,
+  Psh = 1 << 3,
+  Ack = 1 << 4,
+};
+
+[[nodiscard]] constexpr TcpFlags operator|(TcpFlags a, TcpFlags b) noexcept {
+  return static_cast<TcpFlags>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has_flag(TcpFlags flags, TcpFlags bit) noexcept {
+  return (static_cast<std::uint8_t>(flags) & static_cast<std::uint8_t>(bit)) != 0;
+}
+
+/// Connection 5-tuple. Direction matters: src is the sender of the packet.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::Tcp;
+
+  /// The same tuple viewed from the other direction.
+  [[nodiscard]] FiveTuple reversed() const noexcept {
+    return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) noexcept = default;
+};
+
+/// One captured packet header (the unit of the synthetic traces).
+struct PacketRecord {
+  util::Timestamp timestamp = 0;  ///< microseconds since trace start
+  FiveTuple tuple;
+  TcpFlags tcp_flags = TcpFlags::None;  ///< meaningful only for TCP
+  std::uint16_t payload_bytes = 0;
+
+  friend constexpr auto operator<=>(const PacketRecord&, const PacketRecord&) noexcept = default;
+};
+
+}  // namespace monohids::net
+
+template <>
+struct std::hash<monohids::net::FiveTuple> {
+  std::size_t operator()(const monohids::net::FiveTuple& t) const noexcept {
+    // 64-bit mix of the tuple fields (FNV-style multiply-xor chain).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.src_ip.value());
+    mix(t.dst_ip.value());
+    mix((std::uint64_t{t.src_port} << 24) | (std::uint64_t{t.dst_port} << 8) |
+        static_cast<std::uint64_t>(t.protocol));
+    return static_cast<std::size_t>(h);
+  }
+};

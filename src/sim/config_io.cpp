@@ -1,0 +1,146 @@
+#include "sim/config_io.hpp"
+
+#include <charconv>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace monohids::sim {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double parse_number(std::string_view key, std::string_view text) {
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  MONOHIDS_ENSURE(ec == std::errc{} && ptr == text.data() + text.size(),
+                  "malformed value for '" + std::string(key) + "': " + std::string(text));
+  return value;
+}
+
+}  // namespace
+
+std::string serialize_scenario_config(const ScenarioConfig& config) {
+  std::ostringstream os;
+  os.precision(15);
+  const auto& p = config.population;
+  const auto& g = config.generator;
+  os << "# monohids scenario configuration\n"
+     << "# population\n"
+     << "users = " << p.user_count << '\n'
+     << "seed = " << p.seed << '\n'
+     << "weeks = " << p.weeks << '\n'
+     << "heavy_fraction = " << p.heavy_fraction << '\n'
+     << "intensity_log_mu = " << p.intensity_log_mu << '\n'
+     << "intensity_log_sigma = " << p.intensity_log_sigma << '\n'
+     << "heavy_boost_log_mu = " << p.heavy_boost_log_mu << '\n'
+     << "heavy_boost_log_sigma = " << p.heavy_boost_log_sigma << '\n'
+     << "extreme_fraction_of_heavy = " << p.extreme_fraction_of_heavy << '\n'
+     << "extreme_boost_log_mu = " << p.extreme_boost_log_mu << '\n'
+     << "extreme_boost_log_sigma = " << p.extreme_boost_log_sigma << '\n'
+     << "app_mix_log_sigma = " << p.app_mix_log_sigma << '\n'
+     << "dns_mix_log_sigma = " << p.dns_mix_log_sigma << '\n'
+     << "weekly_drift_log_sigma = " << p.weekly_drift_log_sigma << '\n'
+     << "weekly_trend = " << p.weekly_trend << '\n'
+     << "subnet_base = " << p.subnet_base.to_string() << '\n'
+     << "# generator\n"
+     << "bin_minutes = " << g.grid.width() / util::kMicrosPerMinute << '\n'
+     << "episode_log_mu = " << g.episode_log_mu << '\n'
+     << "distinct_pool_factor = " << g.distinct_pool_factor << '\n';
+  return os.str();
+}
+
+ScenarioConfig parse_scenario_config(std::string_view text) {
+  ScenarioConfig config;
+  auto& p = config.population;
+  auto& g = config.generator;
+
+  // One setter per key; string-valued keys handle their own parsing.
+  const std::map<std::string_view, std::function<void(std::string_view, std::string_view)>>
+      setters{
+          {"users",
+           [&](auto k, auto v) {
+             const double n = parse_number(k, v);
+             MONOHIDS_ENSURE(n >= 1 && n <= 1e7, "users out of range");
+             p.user_count = static_cast<std::uint32_t>(n);
+           }},
+          {"seed",
+           [&](auto k, auto v) { p.seed = static_cast<std::uint64_t>(parse_number(k, v)); }},
+          {"weeks",
+           [&](auto k, auto v) {
+             const double n = parse_number(k, v);
+             MONOHIDS_ENSURE(n >= 1 && n <= 520, "weeks out of range");
+             p.weeks = static_cast<std::uint32_t>(n);
+             g.weeks = p.weeks;
+           }},
+          {"heavy_fraction",
+           [&](auto k, auto v) {
+             p.heavy_fraction = parse_number(k, v);
+             MONOHIDS_ENSURE(p.heavy_fraction >= 0 && p.heavy_fraction <= 1,
+                             "heavy_fraction out of range");
+           }},
+          {"intensity_log_mu",
+           [&](auto k, auto v) { p.intensity_log_mu = parse_number(k, v); }},
+          {"intensity_log_sigma",
+           [&](auto k, auto v) { p.intensity_log_sigma = parse_number(k, v); }},
+          {"heavy_boost_log_mu",
+           [&](auto k, auto v) { p.heavy_boost_log_mu = parse_number(k, v); }},
+          {"heavy_boost_log_sigma",
+           [&](auto k, auto v) { p.heavy_boost_log_sigma = parse_number(k, v); }},
+          {"extreme_fraction_of_heavy",
+           [&](auto k, auto v) { p.extreme_fraction_of_heavy = parse_number(k, v); }},
+          {"extreme_boost_log_mu",
+           [&](auto k, auto v) { p.extreme_boost_log_mu = parse_number(k, v); }},
+          {"extreme_boost_log_sigma",
+           [&](auto k, auto v) { p.extreme_boost_log_sigma = parse_number(k, v); }},
+          {"app_mix_log_sigma",
+           [&](auto k, auto v) { p.app_mix_log_sigma = parse_number(k, v); }},
+          {"dns_mix_log_sigma",
+           [&](auto k, auto v) { p.dns_mix_log_sigma = parse_number(k, v); }},
+          {"weekly_drift_log_sigma",
+           [&](auto k, auto v) { p.weekly_drift_log_sigma = parse_number(k, v); }},
+          {"weekly_trend", [&](auto k, auto v) { p.weekly_trend = parse_number(k, v); }},
+          {"subnet_base",
+           [&](auto, auto v) { p.subnet_base = net::Ipv4Address::parse(std::string(v)); }},
+          {"bin_minutes",
+           [&](auto k, auto v) {
+             const double n = parse_number(k, v);
+             MONOHIDS_ENSURE(n >= 1 && n <= 24 * 60, "bin_minutes out of range");
+             g.grid = util::BinGrid::minutes(static_cast<std::uint64_t>(n));
+           }},
+          {"episode_log_mu",
+           [&](auto k, auto v) { g.episode_log_mu = parse_number(k, v); }},
+          {"distinct_pool_factor",
+           [&](auto k, auto v) { g.distinct_pool_factor = parse_number(k, v); }},
+      };
+
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = trim(text.substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto eq = line.find('=');
+    MONOHIDS_ENSURE(eq != std::string_view::npos,
+                    "config line is not 'key = value': " + std::string(line));
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    const auto it = setters.find(key);
+    MONOHIDS_ENSURE(it != setters.end(), "unknown config key: " + std::string(key));
+    it->second(key, value);
+  }
+  return config;
+}
+
+}  // namespace monohids::sim

@@ -1,0 +1,68 @@
+#include "sim/enterprise.hpp"
+
+#include <cmath>
+
+#include "hids/evaluator.hpp"
+
+#include "trace/overlay.hpp"
+#include "util/error.hpp"
+
+namespace monohids::sim {
+
+FeatureAssignments assign_all_features(const Scenario& scenario, std::uint32_t train_week,
+                                       const hids::Grouper& grouper,
+                                       const hids::ThresholdHeuristic& heuristic) {
+  FeatureAssignments assignments;
+  for (features::FeatureKind f : features::kAllFeatures) {
+    const auto train = hids::week_distributions(scenario.matrices, f, train_week);
+    assignments[features::index_of(f)] = hids::assign_thresholds(train, grouper, heuristic);
+  }
+  return assignments;
+}
+
+EnterpriseResult run_enterprise_week(const Scenario& scenario,
+                                     const FeatureAssignments& assignments,
+                                     const EnterpriseConfig& config) {
+  MONOHIDS_EXPECT(config.week < scenario.config.generator.weeks,
+                  "week outside the scenario horizon");
+  for (const auto& a : assignments) {
+    MONOHIDS_EXPECT(a.threshold_of_user.size() == scenario.user_count(),
+                    "assignment population mismatch");
+  }
+
+  const util::BinGrid grid = scenario.config.generator.grid;
+  const std::size_t bins_per_week =
+      static_cast<std::size_t>(util::kMicrosPerWeek / grid.width());
+  const std::size_t first_bin = config.week * bins_per_week;
+  const std::size_t last_bin = first_bin + bins_per_week;
+
+  EnterpriseResult result(scenario.user_count(), scenario.config.generator.weeks);
+
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    hids::HostHids host(u);
+    for (features::FeatureKind f : features::kAllFeatures) {
+      host.configure(f, assignments[features::index_of(f)].threshold_of_user[u]);
+    }
+
+    hids::AlertBatcher batcher(u, config.batch_interval,
+                               [&result, u](const hids::AlertBatch& batch) {
+                                 result.console.ingest(batch);
+                                 result.alerts_per_user[u] += batch.alerts.size();
+                               });
+
+    const auto scan_with = [&](const features::FeatureMatrix& observed) {
+      host.scan_range(observed, first_bin, last_bin,
+                      [&batcher](const hids::Alert& alert) { batcher.submit(alert); });
+    };
+    if (config.attack.has_value()) {
+      scan_with(trace::overlay_tiled(scenario.matrices[u], *config.attack));
+    } else {
+      scan_with(scenario.matrices[u]);
+    }
+    batcher.flush((config.week + 1) * util::kMicrosPerWeek);
+    result.total_batches += batcher.batches_sent();
+  }
+  return result;
+}
+
+}  // namespace monohids::sim

@@ -1,0 +1,61 @@
+// End-to-end enterprise simulation: the operational path.
+//
+// The evaluator (hids/evaluator.hpp) computes operating points analytically
+// from distributions; this module runs the same week the way a deployment
+// would: every host's HostHids scans its observed feature matrix bin by
+// bin, alerts queue in the host's AlertBatcher and flush periodically to
+// the CentralConsole, optionally with an attack overlaid on the traffic.
+// The two paths must agree — benches cross-check console totals against the
+// evaluator's counts.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "hids/console.hpp"
+#include "hids/detector.hpp"
+#include "hids/threshold_policy.hpp"
+#include "sim/scenario.hpp"
+#include "trace/storm.hpp"
+
+namespace monohids::sim {
+
+struct EnterpriseConfig {
+  /// Which week of the scenario the hosts live through.
+  std::uint32_t week = 1;
+
+  /// How often each host flushes queued alerts to IT.
+  util::Duration batch_interval = util::kMicrosPerHour;
+
+  /// Attack matrix tiled over every host's traffic (empty = benign week).
+  std::optional<features::FeatureMatrix> attack;
+};
+
+struct EnterpriseResult {
+  hids::CentralConsole console;
+  std::vector<std::uint64_t> alerts_per_user;
+  std::uint64_t total_batches = 0;
+
+  explicit EnterpriseResult(std::uint32_t users, std::uint32_t weeks)
+      : console(users, weeks), alerts_per_user(users, 0) {}
+};
+
+/// Per-feature threshold assignments for the whole population (one entry
+/// per feature; each from assign_thresholds under some policy).
+using FeatureAssignments =
+    std::array<hids::ThresholdAssignment, features::kFeatureCount>;
+
+/// Builds assignments for every feature under one grouper/heuristic, all
+/// trained on `train_week`.
+[[nodiscard]] FeatureAssignments assign_all_features(const Scenario& scenario,
+                                                     std::uint32_t train_week,
+                                                     const hids::Grouper& grouper,
+                                                     const hids::ThresholdHeuristic& heuristic);
+
+/// Runs the configured week through every host's HIDS and the central
+/// console.
+[[nodiscard]] EnterpriseResult run_enterprise_week(const Scenario& scenario,
+                                                   const FeatureAssignments& assignments,
+                                                   const EnterpriseConfig& config);
+
+}  // namespace monohids::sim

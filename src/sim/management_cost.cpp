@@ -1,0 +1,63 @@
+#include "sim/management_cost.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::sim {
+
+std::string_view name_of(ReportingMode mode) noexcept {
+  switch (mode) {
+    case ReportingMode::None: return "local-only";
+    case ReportingMode::FullDistribution: return "full-distribution";
+    case ReportingMode::QuantileSummary: return "quantile-summary";
+  }
+  return "unknown";
+}
+
+std::vector<ManagementCost> management_costs(const ManagementCostConfig& config,
+                                             ReportingMode centralized_mode) {
+  MONOHIDS_EXPECT(config.users > 0 && config.features > 0 && config.bins_per_week > 0,
+                  "management-cost config must be non-degenerate");
+  MONOHIDS_EXPECT(centralized_mode != ReportingMode::None,
+                  "centralized policies must ship something");
+
+  const std::uint64_t per_host_per_feature =
+      centralized_mode == ReportingMode::FullDistribution
+          ? static_cast<std::uint64_t>(config.bins_per_week) * sizeof(double)
+          : static_cast<std::uint64_t>(config.summary_points) * sizeof(double) +
+                sizeof(std::uint64_t);
+  const std::uint64_t uplink = static_cast<std::uint64_t>(config.users) * config.features *
+                               per_host_per_feature;
+  const std::uint64_t threshold_bytes =
+      static_cast<std::uint64_t>(config.features) * sizeof(double);
+
+  std::vector<ManagementCost> costs;
+
+  ManagementCost homogeneous;
+  homogeneous.policy = "homogeneous";
+  homogeneous.reporting = centralized_mode;
+  homogeneous.uplink_bytes_per_week = uplink;
+  // one threshold set, broadcast to every host
+  homogeneous.downlink_bytes_per_week = threshold_bytes * config.users;
+  homogeneous.distinct_configurations = 1;
+  costs.push_back(homogeneous);
+
+  ManagementCost full;
+  full.policy = "full-diversity";
+  full.reporting = ReportingMode::None;  // "all done locally" (paper §4)
+  full.uplink_bytes_per_week = 0;
+  full.downlink_bytes_per_week = 0;
+  full.distinct_configurations = config.users;
+  costs.push_back(full);
+
+  ManagementCost partial;
+  partial.policy = std::to_string(config.partial_groups) + "-partial";
+  partial.reporting = centralized_mode;
+  partial.uplink_bytes_per_week = uplink;
+  partial.downlink_bytes_per_week = threshold_bytes * config.users;
+  partial.distinct_configurations = config.partial_groups;
+  costs.push_back(partial);
+
+  return costs;
+}
+
+}  // namespace monohids::sim

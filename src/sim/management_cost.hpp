@@ -1,0 +1,51 @@
+// Management-cost model for IT policies.
+//
+// The paper's IT-operator survey surfaces two costs the policies trade
+// against detection quality: the reporting traffic of centralized threshold
+// computation ("all the data is pulled to the central console") and the
+// number of distinct configurations operators must audit for compliance.
+// This model quantifies both per policy, with and without compact
+// quantile-summary shipping, backing the paper's §6 discussion with
+// numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace monohids::sim {
+
+/// How hosts report their distributions to the console.
+enum class ReportingMode : std::uint8_t {
+  None,            ///< thresholds computed locally (full diversity)
+  FullDistribution,  ///< ship every bin count (the paper's description)
+  QuantileSummary,   ///< ship a fixed-size quantile grid
+};
+
+struct ManagementCost {
+  std::string policy;
+  ReportingMode reporting = ReportingMode::None;
+  std::uint64_t uplink_bytes_per_week = 0;    ///< hosts -> console
+  std::uint64_t downlink_bytes_per_week = 0;  ///< console -> hosts
+  std::uint32_t distinct_configurations = 0;  ///< the compliance-audit burden
+};
+
+struct ManagementCostConfig {
+  std::uint32_t users = 350;
+  std::uint32_t bins_per_week = 672;
+  std::uint32_t features = 6;
+  std::size_t summary_points = 128;
+  std::uint32_t partial_groups = 8;
+};
+
+/// Costs for the paper's three policies under the given reporting mode
+/// (None is forced for full diversity; the mode applies to the centralized
+/// policies).
+[[nodiscard]] std::vector<ManagementCost> management_costs(const ManagementCostConfig& config,
+                                                           ReportingMode centralized_mode);
+
+[[nodiscard]] std::string_view name_of(ReportingMode mode) noexcept;
+
+}  // namespace monohids::sim

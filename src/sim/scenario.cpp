@@ -1,0 +1,22 @@
+#include "sim/scenario.hpp"
+
+#include "util/logging.hpp"
+
+namespace monohids::sim {
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  Scenario scenario;
+  scenario.config = config;
+  scenario.users = trace::generate_population(config.population);
+
+  const trace::TraceGenerator generator(config.generator);
+  scenario.matrices.reserve(scenario.users.size());
+  for (const trace::UserProfile& user : scenario.users) {
+    scenario.matrices.push_back(generator.generate_features(user));
+  }
+  MONOHIDS_LOG(Info, "sim") << "scenario built: " << scenario.users.size() << " users, "
+                            << config.generator.weeks << " weeks";
+  return scenario;
+}
+
+}  // namespace monohids::sim

@@ -1,0 +1,45 @@
+// Scenario assembly: the "dataset" every experiment runs on.
+//
+// A Scenario is the reproduction's stand-in for the paper's corpus: a
+// population of user profiles plus each user's multi-week feature matrices,
+// all derived deterministically from one seed. Experiments (sim/experiments
+// .hpp) and benches consume Scenarios; tests build tiny ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/time_series.hpp"
+#include "trace/generator.hpp"
+#include "trace/population.hpp"
+
+namespace monohids::sim {
+
+struct ScenarioConfig {
+  trace::PopulationConfig population;
+  trace::GeneratorConfig generator;
+
+  /// Convenience: one seed for everything.
+  void set_seed(std::uint64_t seed) { population.seed = seed; }
+  void set_users(std::uint32_t n) { population.user_count = n; }
+  void set_weeks(std::uint32_t w) {
+    population.weeks = w;
+    generator.weeks = w;
+  }
+};
+
+struct Scenario {
+  ScenarioConfig config;
+  std::vector<trace::UserProfile> users;
+  std::vector<features::FeatureMatrix> matrices;  ///< per user, six features
+
+  [[nodiscard]] std::uint32_t user_count() const noexcept {
+    return static_cast<std::uint32_t>(users.size());
+  }
+};
+
+/// Generates the full scenario (population + all feature matrices). This is
+/// the expensive call; reuse the result across experiments.
+[[nodiscard]] Scenario build_scenario(const ScenarioConfig& config);
+
+}  // namespace monohids::sim

@@ -1,0 +1,38 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+util::BoxStats box_stats(std::span<const double> samples) {
+  MONOHIDS_EXPECT(!samples.empty(), "box stats of an empty sample");
+  std::vector<double> v(samples.begin(), samples.end());
+  std::sort(v.begin(), v.end());
+
+  util::BoxStats s;
+  s.q1 = quantile_interpolated_sorted(v, 0.25);
+  s.median = quantile_interpolated_sorted(v, 0.50);
+  s.q3 = quantile_interpolated_sorted(v, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+
+  s.whisker_low = s.q1;
+  s.whisker_high = s.q3;
+  s.outliers = 0;
+  for (double x : v) {
+    if (x < lo_fence || x > hi_fence) {
+      ++s.outliers;
+      continue;
+    }
+    s.whisker_low = std::min(s.whisker_low, x);
+    s.whisker_high = std::max(s.whisker_high, x);
+  }
+  return s;
+}
+
+}  // namespace monohids::stats

@@ -1,0 +1,19 @@
+// Box-plot summaries (Tukey five-number summary with 1.5·IQR whiskers).
+//
+// Figures 3(a) and 4(b) of the paper are box plots of per-user utilities and
+// hidden attack traffic; this module turns a sample vector into the stats the
+// ASCII renderer draws.
+#pragma once
+
+#include <span>
+
+#include "util/ascii_chart.hpp"
+
+namespace monohids::stats {
+
+/// Computes Tukey box statistics: quartiles via linear interpolation,
+/// whiskers at the most extreme samples within 1.5·IQR of the box, and the
+/// count of samples beyond the whiskers. Requires a non-empty sample.
+[[nodiscard]] util::BoxStats box_stats(std::span<const double> samples);
+
+}  // namespace monohids::stats

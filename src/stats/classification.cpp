@@ -1,0 +1,47 @@
+#include "stats/classification.hpp"
+
+namespace monohids::stats {
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) noexcept {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  true_negatives += other.true_negatives;
+  false_negatives += other.false_negatives;
+  return *this;
+}
+
+double false_positive_rate(const ConfusionCounts& c) noexcept {
+  const auto denom = c.negatives();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.false_positives) / static_cast<double>(denom);
+}
+
+double false_negative_rate(const ConfusionCounts& c) noexcept {
+  const auto denom = c.positives();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.false_negatives) / static_cast<double>(denom);
+}
+
+double precision(const ConfusionCounts& c) noexcept {
+  const auto denom = c.true_positives + c.false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double recall(const ConfusionCounts& c) noexcept {
+  const auto denom = c.positives();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double f_measure(const ConfusionCounts& c) noexcept {
+  const double p = precision(c);
+  const double r = recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double utility(double fn_rate, double fp_rate, double w) noexcept {
+  return 1.0 - (w * fn_rate + (1.0 - w) * fp_rate);
+}
+
+}  // namespace monohids::stats

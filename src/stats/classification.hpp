@@ -1,0 +1,49 @@
+// Binary-classification metrics for detector evaluation.
+//
+// The evaluator reduces each (user, policy, feature) run to a confusion
+// matrix over test-week bins; precision / recall / F-measure back the
+// paper's F-measure threshold heuristic, and FP/FN rates feed the utility
+// U = 1 − [w·FN + (1−w)·FP].
+#pragma once
+
+#include <cstdint>
+
+namespace monohids::stats {
+
+/// Counts of a binary confusion matrix.
+struct ConfusionCounts {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_negatives = 0;
+  std::uint64_t false_negatives = 0;
+
+  [[nodiscard]] std::uint64_t positives() const noexcept {
+    return true_positives + false_negatives;
+  }
+  [[nodiscard]] std::uint64_t negatives() const noexcept {
+    return true_negatives + false_positives;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return positives() + negatives(); }
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other) noexcept;
+};
+
+/// FP rate = FP / (FP + TN); 0 when there are no negatives.
+[[nodiscard]] double false_positive_rate(const ConfusionCounts& c) noexcept;
+
+/// FN rate = FN / (FN + TP); 0 when there are no positives.
+[[nodiscard]] double false_negative_rate(const ConfusionCounts& c) noexcept;
+
+/// Precision = TP / (TP + FP); 0 when no predicted positives.
+[[nodiscard]] double precision(const ConfusionCounts& c) noexcept;
+
+/// Recall = TP / (TP + FN); 0 when no actual positives.
+[[nodiscard]] double recall(const ConfusionCounts& c) noexcept;
+
+/// F1 = harmonic mean of precision and recall; 0 when both are 0.
+[[nodiscard]] double f_measure(const ConfusionCounts& c) noexcept;
+
+/// The paper's per-host utility U = 1 − [w·FN + (1−w)·FP], w in [0,1].
+[[nodiscard]] double utility(double fn_rate, double fp_rate, double w) noexcept;
+
+}  // namespace monohids::stats

@@ -1,0 +1,90 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/quantile.hpp"
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  for (double v : sorted_) {
+    MONOHIDS_EXPECT(std::isfinite(v), "empirical samples must be finite");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::min() const {
+  MONOHIDS_EXPECT(!empty(), "min of empty distribution");
+  return sorted_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  MONOHIDS_EXPECT(!empty(), "max of empty distribution");
+  return sorted_.back();
+}
+
+double EmpiricalDistribution::mean() const {
+  MONOHIDS_EXPECT(!empty(), "mean of empty distribution");
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::variance() const {
+  MONOHIDS_EXPECT(!empty(), "variance of empty distribution");
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : sorted_) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::stddev() const { return std::sqrt(variance()); }
+
+double EmpiricalDistribution::quantile(double q) const {
+  return quantile_nearest_rank_sorted(sorted_, q);
+}
+
+double EmpiricalDistribution::quantile_interpolated(double q) const {
+  return quantile_interpolated_sorted(sorted_, q);
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  MONOHIDS_EXPECT(!empty(), "cdf of empty distribution");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::exceedance(double x) const { return 1.0 - cdf(x); }
+
+double EmpiricalDistribution::shifted_cdf(double shift, double t) const {
+  return cdf(t - shift);
+}
+
+double EmpiricalDistribution::max_hidden_shift(double t, double target_mass) const {
+  MONOHIDS_EXPECT(!empty(), "max_hidden_shift of empty distribution");
+  MONOHIDS_EXPECT(target_mass > 0.0 && target_mass <= 1.0,
+                  "evasion probability must be in (0,1]");
+  // P(X + b <= t) = cdf(t - b) >= target_mass
+  //   <=> t - b >= quantile(target_mass)  (nearest-rank inverse CDF)
+  //   <=> b <= t - quantile(target_mass).
+  const double q = quantile(target_mass);
+  return std::max(0.0, t - q);
+}
+
+EmpiricalDistribution EmpiricalDistribution::merge(
+    std::span<const EmpiricalDistribution> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<double> all;
+  all.reserve(total);
+  for (const auto& p : parts) {
+    const auto s = p.samples();
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return EmpiricalDistribution(std::move(all));
+}
+
+}  // namespace monohids::stats

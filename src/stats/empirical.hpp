@@ -1,0 +1,65 @@
+// Empirical distribution of a traffic feature.
+//
+// The paper treats each time-bin count as a sample of the per-host feature
+// distribution P(g_i^j) and derives everything — thresholds, false-positive
+// rates P(g > T), mimicry head-room — from the empirical CDF. This class is
+// that CDF: it owns a sorted sample vector and answers quantile /
+// (c)CDF / convolution-style queries exactly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace monohids::stats {
+
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+
+  /// Builds from raw samples (copied and sorted). Samples must be finite.
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+
+  /// Sorted sample view (ascending).
+  [[nodiscard]] std::span<const double> samples() const noexcept { return sorted_; }
+
+  /// Nearest-rank quantile (see quantile.hpp). Distribution must be non-empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Linear-interpolation quantile.
+  [[nodiscard]] double quantile_interpolated(double q) const;
+
+  /// P(X <= x): fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// P(X > x): the false-positive rate of a detector thresholded at x.
+  [[nodiscard]] double exceedance(double x) const;
+
+  /// P(X + shift <= t): miss probability of an additive attack of size
+  /// `shift` against threshold `t` (the paper's FN = P(g + b < T); with
+  /// integer bin counts the <= / < distinction only matters at exact
+  /// threshold values, where alarms fire strictly above T).
+  [[nodiscard]] double shifted_cdf(double shift, double t) const;
+
+  /// Largest additive shift b such that P(X + b <= t) >= target_mass, i.e.
+  /// the mimicry attacker's maximal hidden traffic for evasion probability
+  /// `target_mass` against threshold `t`. Returns 0 if even b = 0 fails.
+  [[nodiscard]] double max_hidden_shift(double t, double target_mass) const;
+
+  /// Merges several distributions into the pooled (global) distribution the
+  /// paper's homogeneous policy builds at the central console.
+  [[nodiscard]] static EmpiricalDistribution merge(
+      std::span<const EmpiricalDistribution> parts);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace monohids::stats

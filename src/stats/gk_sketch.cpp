@@ -1,0 +1,75 @@
+#include "stats/gk_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  MONOHIDS_EXPECT(epsilon > 0.0 && epsilon < 0.5, "GK epsilon must be in (0, 0.5)");
+}
+
+void GkSketch::add(double value) {
+  MONOHIDS_EXPECT(std::isfinite(value), "GK values must be finite");
+  ++n_;
+
+  // Find insertion point (first tuple with value >= new value).
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), value,
+                             [](const Tuple& t, double v) { return t.value < v; });
+
+  std::uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion: uncertainty is the current band width.
+    delta = static_cast<std::uint64_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+    if (delta > 0) --delta;
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+
+  // Compress periodically; every 1/(2ε) insertions keeps amortized O(1).
+  const auto period = static_cast<std::uint64_t>(std::ceil(1.0 / (2.0 * epsilon_)));
+  if (n_ % period == 0) compress();
+}
+
+void GkSketch::compress() {
+  if (tuples_.size() < 3) return;
+  const auto threshold =
+      static_cast<std::uint64_t>(std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+  // Merge right-to-left, never touching the extreme tuples (they pin min/max).
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.back());
+  for (std::size_t idx = tuples_.size() - 1; idx-- > 1;) {
+    Tuple& successor = out.back();
+    const Tuple& current = tuples_[idx];
+    if (current.g + successor.g + successor.delta < threshold) {
+      successor.g += current.g;  // absorb current into its successor
+    } else {
+      out.push_back(current);
+    }
+  }
+  out.push_back(tuples_.front());
+  std::reverse(out.begin(), out.end());
+  tuples_ = std::move(out);
+}
+
+double GkSketch::quantile(double q) const {
+  MONOHIDS_EXPECT(n_ > 0, "GK quantile requires observations");
+  MONOHIDS_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability must be in [0,1]");
+  const double target_rank = std::max(1.0, std::ceil(q * static_cast<double>(n_)));
+  const double tolerance = epsilon_ * static_cast<double>(n_);
+  // Canonical GK query: return the last tuple whose maximum possible rank
+  // stays within target + tolerance.
+  std::uint64_t min_rank = 0;
+  double best = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    min_rank += t.g;
+    if (static_cast<double>(min_rank + t.delta) > target_rank + tolerance) break;
+    best = t.value;
+  }
+  return best;
+}
+
+}  // namespace monohids::stats

@@ -1,0 +1,43 @@
+// Greenwald–Khanna ε-approximate quantile sketch (SIGMOD 2001).
+//
+// Complements P²: one GK sketch answers *all* quantile queries with rank
+// error at most ε·n using O((1/ε)·log(ε·n)) space — the right tool when a
+// host tracks both the 99th and 99.9th percentile of a feature, or when the
+// central console wants mergeable-ish compact summaries instead of shipping
+// full distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace monohids::stats {
+
+class GkSketch {
+ public:
+  /// `epsilon` in (0, 0.5): maximum rank error as a fraction of n.
+  explicit GkSketch(double epsilon);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t tuple_count() const noexcept { return tuples_.size(); }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+  /// Value whose rank is within ε·n of ceil(q·n). Requires n > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  struct Tuple {
+    double value;
+    std::uint64_t g;      // rank gap to predecessor
+    std::uint64_t delta;  // rank uncertainty
+  };
+
+  void compress();
+
+  double epsilon_;
+  std::uint64_t n_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace monohids::stats

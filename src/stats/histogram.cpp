@@ -1,0 +1,116 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  MONOHIDS_EXPECT(hi > lo, "histogram range must be non-empty");
+  MONOHIDS_EXPECT(bins > 0, "histogram needs at least one bin");
+}
+
+void LinearHistogram::add(double value, std::uint64_t count) {
+  MONOHIDS_EXPECT(std::isfinite(value), "histogram values must be finite");
+  total_ += count;
+  if (value < lo_) {
+    underflow_ += count;
+  } else if (value >= hi_) {
+    overflow_ += count;
+  } else {
+    counts_[bin_of(value)] += count;
+  }
+}
+
+std::uint64_t LinearHistogram::count_at(std::size_t bin) const {
+  MONOHIDS_EXPECT(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+std::pair<double, double> LinearHistogram::bin_edges(std::size_t bin) const {
+  MONOHIDS_EXPECT(bin < counts_.size(), "histogram bin out of range");
+  return {lo_ + width_ * static_cast<double>(bin), lo_ + width_ * static_cast<double>(bin + 1)};
+}
+
+std::size_t LinearHistogram::bin_of(double value) const {
+  MONOHIDS_EXPECT(value >= lo_ && value < hi_, "value outside histogram range");
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(bin, counts_.size() - 1);  // guard against rounding at hi_
+}
+
+double LinearHistogram::quantile(double q) const {
+  MONOHIDS_EXPECT(total_ > 0, "quantile of empty histogram");
+  MONOHIDS_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability must be in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const auto [blo, bhi] = bin_edges(b);
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return blo + frac * (bhi - blo);
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : log_lo_(std::log10(lo)), log_hi_(std::log10(hi)), lo_(lo), hi_(hi) {
+  MONOHIDS_EXPECT(lo > 0 && hi > lo, "log histogram needs 0 < lo < hi");
+  MONOHIDS_EXPECT(bins_per_decade > 0, "log histogram needs bins");
+  const double decades = log_hi_ - log_lo_;
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(decades * static_cast<double>(bins_per_decade)));
+  log_width_ = decades / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void LogHistogram::add(double value, std::uint64_t count) {
+  MONOHIDS_EXPECT(std::isfinite(value), "histogram values must be finite");
+  total_ += count;
+  if (value < lo_) {  // includes all non-positive values
+    nonpositive_ += count;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += count;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((std::log10(value) - log_lo_) / log_width_);
+  counts_[std::min(bin, counts_.size() - 1)] += count;
+}
+
+std::uint64_t LogHistogram::count_at(std::size_t bin) const {
+  MONOHIDS_EXPECT(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+std::pair<double, double> LogHistogram::bin_edges(std::size_t bin) const {
+  MONOHIDS_EXPECT(bin < counts_.size(), "histogram bin out of range");
+  return {std::pow(10.0, log_lo_ + log_width_ * static_cast<double>(bin)),
+          std::pow(10.0, log_lo_ + log_width_ * static_cast<double>(bin + 1))};
+}
+
+double LogHistogram::quantile(double q) const {
+  MONOHIDS_EXPECT(total_ > 0, "quantile of empty histogram");
+  MONOHIDS_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability must be in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(nonpositive_);
+  if (target <= cum) return 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const auto [blo, bhi] = bin_edges(b);
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return blo + frac * (bhi - blo);  // linear within the (narrow) log bin
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace monohids::stats

@@ -1,0 +1,72 @@
+// Histograms over feature values.
+//
+// Two flavors: fixed-width linear bins (for bounded features) and
+// logarithmic bins (for the heavy-tailed bin-count distributions this study
+// revolves around, where values span 3-4 decades). The resourceful attacker
+// in the paper "computes histograms of the user's behavior"; the mimicry
+// model consumes this type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monohids::stats {
+
+/// Fixed-width linear histogram over [lo, hi); values outside the range are
+/// counted in underflow/overflow.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// [low, high) edges of a bin.
+  [[nodiscard]] std::pair<double, double> bin_edges(std::size_t bin) const;
+
+  /// Bin index for a value inside [lo, hi).
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+  /// Approximate quantile from bin mass (linear within the bin). Underflow
+  /// mass is attributed to `lo`, overflow to `hi`.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Log-spaced histogram over [lo, hi) with `bins_per_decade` bins per factor
+/// of 10; values <= 0 are counted separately (bin counts of 0 are common in
+/// idle periods).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t zero_or_negative() const noexcept { return nonpositive_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::pair<double, double> bin_edges(std::size_t bin) const;
+
+  /// Approximate quantile; non-positive mass maps to 0, overflow to `hi`.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double log_lo_, log_hi_, log_width_;
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t nonpositive_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace monohids::stats

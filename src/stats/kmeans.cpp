@@ -1,0 +1,159 @@
+#include "stats/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+namespace {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::size_t sample_index(util::Xoshiro256& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng() % n);
+}
+
+// k-means++ seeding: first centroid uniform, each next centroid chosen with
+// probability proportional to squared distance to the nearest chosen one.
+std::vector<std::vector<double>> seed_centroids(std::span<const std::vector<double>> points,
+                                                std::uint32_t k, util::Xoshiro256& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[sample_index(rng, points.size())]);
+  std::vector<double> d2(points.size(), std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // all remaining points coincide with chosen centroids; duplicate one
+      centroids.push_back(points[0]);
+      continue;
+    }
+    double target = rng.uniform01() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const std::vector<double>> points, std::uint32_t k,
+                    util::Xoshiro256& rng, const KMeansOptions& options) {
+  MONOHIDS_EXPECT(k > 0, "k must be positive");
+  MONOHIDS_EXPECT(points.size() >= k, "need at least k points");
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) {
+    MONOHIDS_EXPECT(p.size() == dim, "all points must share a dimension");
+  }
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::uint32_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to keep k clusters alive.
+        result.centroids[c] = points[sample_index(rng, points.size())];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_inertia - inertia <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+double mean_silhouette(std::span<const std::vector<double>> points,
+                       std::span<const std::uint32_t> assignment, std::uint32_t k) {
+  MONOHIDS_EXPECT(points.size() == assignment.size(), "assignment size mismatch");
+  MONOHIDS_EXPECT(k >= 2, "silhouette requires k >= 2");
+  std::vector<std::size_t> cluster_size(k, 0);
+  for (std::uint32_t a : assignment) {
+    MONOHIDS_EXPECT(a < k, "assignment id out of range");
+    ++cluster_size[a];
+  }
+  for (std::size_t s : cluster_size) {
+    MONOHIDS_EXPECT(s > 0, "silhouette requires non-empty clusters");
+  }
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t own = assignment[i];
+    if (cluster_size[own] == 1) continue;  // silhouette undefined; skip
+
+    std::vector<double> mean_dist(k, 0.0);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      mean_dist[assignment[j]] += std::sqrt(squared_distance(points[i], points[j]));
+    }
+    double a = mean_dist[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (c == own) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(cluster_size[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace monohids::stats

@@ -1,0 +1,42 @@
+// k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// Section 5 of the paper attempts k-means over per-user 99th-percentile
+// values to build partial-diversity groups and finds "no natural holes" in
+// the population. We implement the same method plus the diagnostics
+// (inertia, silhouette) that quantify that finding, and reuse it as an
+// alternative grouper in the future-work ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;   // k centroids, each d-dimensional
+  std::vector<std::uint32_t> assignment;        // point index -> cluster id
+  double inertia = 0.0;                         // sum of squared distances to centroid
+  std::uint32_t iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansOptions {
+  std::uint32_t max_iterations = 100;
+  double tolerance = 1e-9;  ///< stop when inertia improvement falls below this
+};
+
+/// Clusters `points` (each the same dimension, at least k points) into k
+/// clusters. Deterministic given the RNG state.
+[[nodiscard]] KMeansResult kmeans(std::span<const std::vector<double>> points, std::uint32_t k,
+                                  util::Xoshiro256& rng, const KMeansOptions& options = {});
+
+/// Mean silhouette coefficient in [-1, 1]; values near 0 indicate no natural
+/// cluster separation (the paper's observation). Requires k >= 2 and every
+/// cluster non-empty.
+[[nodiscard]] double mean_silhouette(std::span<const std::vector<double>> points,
+                                     std::span<const std::uint32_t> assignment, std::uint32_t k);
+
+}  // namespace monohids::stats

@@ -1,0 +1,37 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  MONOHIDS_EXPECT(!a.empty() && !b.empty(), "KS needs two non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Merge-walk both sorted samples, tracking the CDF gap at every step.
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ks_statistic(const EmpiricalDistribution& a, const EmpiricalDistribution& b) {
+  return ks_statistic(a.samples(), b.samples());
+}
+
+}  // namespace monohids::stats

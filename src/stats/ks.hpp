@@ -1,0 +1,23 @@
+// Two-sample Kolmogorov-Smirnov statistic.
+//
+// The paper claims "tremendous natural diversity" across users; the KS
+// statistic D = sup |F_a - F_b| makes that formal: D near 0 means two
+// users' bin-count distributions are interchangeable, D near 1 means they
+// barely overlap. fig1_tail_diversity reports the population's pairwise-D
+// summary next to the threshold spread.
+#pragma once
+
+#include <span>
+
+#include "stats/empirical.hpp"
+
+namespace monohids::stats {
+
+/// D statistic over two sorted-or-not sample sets (both non-empty).
+[[nodiscard]] double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Convenience overload for empirical distributions.
+[[nodiscard]] double ks_statistic(const EmpiricalDistribution& a,
+                                  const EmpiricalDistribution& b);
+
+}  // namespace monohids::stats

@@ -1,0 +1,44 @@
+#include "stats/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monohids::stats {
+
+void RunningMoments::add(double value) noexcept {
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningMoments::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningMoments::sample_variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace monohids::stats

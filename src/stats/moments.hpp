@@ -1,0 +1,42 @@
+// Streaming moments (Welford's algorithm).
+//
+// End hosts learn their traffic profile online with bounded memory; the
+// mean + k*sigma threshold heuristic only needs running moments, which this
+// accumulator provides in a numerically stable single pass.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace monohids::stats {
+
+/// Single-pass accumulator for count / mean / variance / min / max.
+class RunningMoments {
+ public:
+  void add(double value) noexcept;
+
+  /// Merges another accumulator (parallel/chunked accumulation).
+  void merge(const RunningMoments& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divide by n). Zero for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample variance (divide by n-1). Zero for fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace monohids::stats

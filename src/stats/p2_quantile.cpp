@@ -1,0 +1,92 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+P2Quantile::P2Quantile(double probability) : p_(probability) {
+  MONOHIDS_EXPECT(probability > 0.0 && probability < 1.0,
+                  "P2 probability must be in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+  increments_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+void P2Quantile::insert_sorted(double value) {
+  heights_[count_] = value;
+  ++count_;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+    positions_ = {1, 2, 3, 4, 5};
+  }
+}
+
+void P2Quantile::add(double value) {
+  MONOHIDS_EXPECT(std::isfinite(value), "P2 values must be finite");
+  if (count_ < 5) {
+    insert_sorted(value);
+    return;
+  }
+
+  // Locate the cell containing the new value and update extreme markers.
+  std::size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions using
+  // the piecewise-parabolic (P²) prediction, falling back to linear moves.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_right = positions_[i + 1] - positions_[i];
+    const double gap_left = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && gap_right > 1.0) || (d <= -1.0 && gap_left < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double np = positions_[i];
+      const double np_l = positions_[i - 1];
+      const double np_r = positions_[i + 1];
+      const double q = heights_[i];
+      const double q_l = heights_[i - 1];
+      const double q_r = heights_[i + 1];
+      // parabolic prediction
+      double candidate =
+          q + sign / (np_r - np_l) *
+                  ((np - np_l + sign) * (q_r - q) / (np_r - np) +
+                   (np_r - np - sign) * (q - q_l) / (np - np_l));
+      if (candidate <= q_l || candidate >= q_r) {
+        // linear fallback keeps markers strictly ordered
+        candidate = q + sign * (sign > 0 ? (q_r - q) / (np_r - np) : (q_l - q) / (np_l - np));
+      }
+      heights_[i] = candidate;
+      positions_[i] += sign;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  MONOHIDS_EXPECT(count_ > 0, "P2 estimate requires at least one observation");
+  if (count_ < 5) {
+    // exact small-sample quantile over the buffered values
+    std::array<double, 5> buf = heights_;
+    std::sort(buf.begin(), buf.begin() + count_);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p_ * static_cast<double>(count_)));
+    return buf[std::min(rank, static_cast<std::size_t>(count_)) - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace monohids::stats

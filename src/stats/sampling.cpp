@@ -1,0 +1,110 @@
+#include "stats/sampling.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+
+LogNormalSampler::LogNormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  MONOHIDS_EXPECT(sigma >= 0.0, "log-normal sigma must be non-negative");
+}
+
+double LogNormalSampler::sample(util::Xoshiro256& rng) const {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+double LogNormalSampler::median() const { return std::exp(mu_); }
+double LogNormalSampler::mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2.0); }
+
+ParetoSampler::ParetoSampler(double scale_xm, double shape_alpha)
+    : xm_(scale_xm), alpha_(shape_alpha) {
+  MONOHIDS_EXPECT(scale_xm > 0.0, "Pareto scale must be positive");
+  MONOHIDS_EXPECT(shape_alpha > 0.0, "Pareto shape must be positive");
+}
+
+double ParetoSampler::sample(util::Xoshiro256& rng) const {
+  // Inverse CDF: x = xm / u^(1/alpha); guard u > 0.
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double exponent_s) {
+  MONOHIDS_EXPECT(n > 0, "Zipf support must be non-empty");
+  MONOHIDS_EXPECT(exponent_s >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -exponent_s);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::sample(util::Xoshiro256& rng) const {
+  const double u = rng.uniform01();
+  // binary search for the first cdf entry >= u
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::uint32_t>(lo + 1);  // ranks are 1-based
+}
+
+double sample_standard_normal(util::Xoshiro256& rng) {
+  double u1 = rng.uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_exponential(util::Xoshiro256& rng, double rate) {
+  MONOHIDS_EXPECT(rate > 0.0, "exponential rate must be positive");
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::uint64_t sample_poisson(util::Xoshiro256& rng, double mean) {
+  MONOHIDS_EXPECT(mean >= 0.0, "Poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion
+    const double limit = std::exp(-mean);
+    double product = rng.uniform01();
+    std::uint64_t k = 0;
+    while (product > limit) {
+      product *= rng.uniform01();
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for traffic
+  // synthesis (relative error < 1% for mean >= 30).
+  const double z = sample_standard_normal(rng);
+  const double v = mean + std::sqrt(mean) * z + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t sample_uniform_int(util::Xoshiro256& rng, std::uint64_t lo, std::uint64_t hi) {
+  MONOHIDS_EXPECT(lo <= hi, "uniform-int range is inverted");
+  const std::uint64_t span = hi - lo + 1;  // span == 0 means the full 2^64 range
+  if (span == 0) return rng();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span + 1) % span;
+  std::uint64_t draw;
+  do {
+    draw = rng();
+  } while (draw > limit);
+  return lo + draw % span;
+}
+
+}  // namespace monohids::stats

@@ -1,0 +1,70 @@
+// Heavy-tailed samplers used by the synthetic trace generator.
+//
+// The population substitute for the paper's proprietary 350-host traces is
+// built from log-normal user-intensity meta-distributions, Pareto session
+// sizes and Zipf destination popularity — the standard models for enterprise
+// traffic tails. All samplers draw from our deterministic Xoshiro256 engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+
+/// Log-normal: ln X ~ N(mu, sigma^2).
+class LogNormalSampler {
+ public:
+  LogNormalSampler(double mu, double sigma);
+  [[nodiscard]] double sample(util::Xoshiro256& rng) const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Pareto (Type I): P(X > x) = (xm / x)^alpha for x >= xm.
+class ParetoSampler {
+ public:
+  ParetoSampler(double scale_xm, double shape_alpha);
+  [[nodiscard]] double sample(util::Xoshiro256& rng) const;
+  [[nodiscard]] double scale() const noexcept { return xm_; }
+  [[nodiscard]] double shape() const noexcept { return alpha_; }
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Zipf over ranks {1..n}: P(rank k) ∝ k^-s. Used for destination
+/// popularity (a handful of servers receive most connections; the tail of
+/// distinct destinations is long).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double exponent_s);
+  [[nodiscard]] std::uint32_t sample(util::Xoshiro256& rng) const;
+  [[nodiscard]] std::uint32_t support() const noexcept {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+/// Poisson sampler (inversion for small mean, PTRS-ish normal approximation
+/// cutoff for large mean). Used for per-bin event counts.
+[[nodiscard]] std::uint64_t sample_poisson(util::Xoshiro256& rng, double mean);
+
+/// Standard normal via Box–Muller (single value; the pair's second half is
+/// discarded for simplicity — generation speed is not the bottleneck).
+[[nodiscard]] double sample_standard_normal(util::Xoshiro256& rng);
+
+/// Exponential with the given rate (> 0).
+[[nodiscard]] double sample_exponential(util::Xoshiro256& rng, double rate);
+
+/// Uniform integer in [lo, hi] inclusive.
+[[nodiscard]] std::uint64_t sample_uniform_int(util::Xoshiro256& rng, std::uint64_t lo,
+                                               std::uint64_t hi);
+
+}  // namespace monohids::stats

@@ -1,0 +1,27 @@
+// Diurnal / weekly user-activity model.
+//
+// The paper's collection ran on laptops that follow their users between
+// work, home and travel, so activity never quite stops and weekends still
+// carry traffic. This model produces a rate multiplier a(t) in [0, ~1.3]
+// from a smooth work-hours curve, an evening bump (home use), a night
+// floor (background chatter while the lid is open), weekend damping, and a
+// per-user phase shift (early birds vs night owls).
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace monohids::trace {
+
+struct DiurnalProfile {
+  double phase_hours = 0.0;      ///< shifts the whole daily curve (-3..+3 typical)
+  double work_level = 1.0;       ///< multiplier during work hours
+  double evening_level = 0.45;   ///< multiplier during the evening bump
+  double night_floor = 0.04;     ///< background level at night
+  double weekend_factor = 0.35;  ///< scales Saturday/Sunday activity
+};
+
+/// Activity multiplier at time `t` for the given profile. Continuous in t,
+/// periodic over the week.
+[[nodiscard]] double activity_at(const DiurnalProfile& profile, util::Timestamp t) noexcept;
+
+}  // namespace monohids::trace

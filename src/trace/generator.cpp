@@ -1,0 +1,214 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/sampling.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+
+using util::Timestamp;
+
+TraceGenerator::TraceGenerator(GeneratorConfig config) : config_(config) {
+  MONOHIDS_EXPECT(config_.weeks > 0, "generator horizon must cover at least one week");
+}
+
+/// Episodes are rare bursty periods (a crawl, a large sync) during which all
+/// session rates are multiplied by a sampled factor. The process is stepped
+/// bin by bin with identical draws in both render paths, so packet- and
+/// bin-level traffic share their bursts.
+class TraceGenerator::EpisodeProcess {
+ public:
+  EpisodeProcess(const UserProfile& user, double log_mu, std::uint64_t seed)
+      : user_(&user), log_mu_(log_mu), rng_(seed) {}
+
+  /// Multiplier in effect for the bin starting at `bin_start`.
+  double step(Timestamp bin_start, double bin_hours, double activity) {
+    if (bin_start >= episode_end_) multiplier_ = 1.0;
+    const double start_probability =
+        std::min(1.0, user_->episode_rate_per_hour * activity * bin_hours);
+    if (multiplier_ == 1.0 && rng_.uniform01() < start_probability) {
+      const stats::LogNormalSampler boost(log_mu_, user_->episode_log_sigma);
+      multiplier_ =
+          1.0 + std::min(boost.sample(rng_), 6.0) * user_->episode_amplitude;
+      const double minutes =
+          stats::sample_exponential(rng_, 1.0 / user_->episode_mean_minutes);
+      episode_end_ = bin_start + util::from_seconds(minutes * 60.0);
+    }
+    return multiplier_;
+  }
+
+ private:
+  const UserProfile* user_;
+  double log_mu_;
+  util::Xoshiro256 rng_;
+  double multiplier_ = 1.0;
+  Timestamp episode_end_ = 0;
+};
+
+DestinationPools TraceGenerator::make_pools(const UserProfile& user) const {
+  DestinationPools pools;
+  pools.dns_server = net::Ipv4Address::from_octets(10, 10, 255, 2);
+  pools.mail_server = net::Ipv4Address::from_octets(10, 10, 255, 3);
+
+  util::Xoshiro256 rng(util::derive_seed(user.seed, "pools", 0));
+  const std::uint32_t web_count =
+      std::max<std::uint32_t>(8, static_cast<std::uint32_t>(user.destination_pool_size * 0.6));
+  const std::uint32_t peer_count =
+      std::max<std::uint32_t>(8, user.destination_pool_size - web_count);
+
+  pools.web_servers.reserve(web_count);
+  for (std::uint32_t i = 0; i < web_count; ++i) {
+    // public web space: 93.0.0.0/8-ish spread
+    pools.web_servers.push_back(net::Ipv4Address(
+        (93u << 24) + static_cast<std::uint32_t>(stats::sample_uniform_int(rng, 0, 0xFFFFFF))));
+  }
+  pools.peer_pool.reserve(peer_count);
+  for (std::uint32_t i = 0; i < peer_count; ++i) {
+    pools.peer_pool.push_back(net::Ipv4Address(
+        (78u << 24) + static_cast<std::uint32_t>(stats::sample_uniform_int(rng, 0, 0xFFFFFF))));
+  }
+  return pools;
+}
+
+features::FeatureMatrix TraceGenerator::generate_features(const UserProfile& user) const {
+  const util::BinGrid grid = config_.grid;
+  const util::Duration horizon = config_.horizon();
+  features::FeatureMatrix matrix;
+  for (auto& s : matrix.series) s = features::BinnedSeries(grid, horizon);
+
+  util::Xoshiro256 rng(util::derive_seed(user.seed, "bins", 0));
+  EpisodeProcess episodes(user, config_.episode_log_mu,
+                          util::derive_seed(user.seed, "episodes", 0));
+
+  const double bin_hours =
+      static_cast<double>(grid.width()) / static_cast<double>(util::kMicrosPerHour);
+  const double effective_pool =
+      std::max(4.0, config_.distinct_pool_factor * user.destination_pool_size);
+  const std::uint64_t bins = grid.bin_count(horizon);
+
+  for (std::uint64_t b = 0; b < bins; ++b) {
+    const Timestamp start = grid.bin_start(b);
+    const Timestamp mid = start + grid.width() / 2;
+    const double act = activity_at(user.diurnal, mid);
+    const double boost = episodes.step(start, bin_hours, act);
+    const std::uint32_t week = util::week_of(mid);
+
+    double tcp = 0, udp = 0, dns = 0, http = 0, syn = 0;
+    double distinct_draws = 0;
+
+    for (AppKind app : kAllApps) {
+      const double lambda =
+          user.rate_of(app) * act * boost * user.drift(week, app) * bin_hours;
+      const std::uint64_t sessions = stats::sample_poisson(rng, lambda);
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        const SessionFootprint f = sample_footprint(app, rng);
+        tcp += f.tcp_connections;
+        udp += f.udp_connections;
+        dns += f.dns_connections;
+        http += f.http_connections;
+        syn += f.syn_packets;
+        distinct_draws += f.distinct_draws;
+      }
+    }
+    // Resolver cache: a fraction of lookups never hit the wire. Cached
+    // lookups remove both a DNS flow and its UDP flow (same flow).
+    const double cached = std::round(dns * user.dns_cache_hit);
+    dns -= cached;
+    udp -= cached;
+    // Cached lookups also stop contributing a destination draw: no packet
+    // reaches the resolver.
+    distinct_draws = std::max(0.0, distinct_draws - cached);
+
+    using features::FeatureKind;
+    matrix.of(FeatureKind::TcpConnections).set(b, tcp);
+    matrix.of(FeatureKind::UdpConnections).set(b, udp);
+    matrix.of(FeatureKind::DnsConnections).set(b, dns);
+    matrix.of(FeatureKind::HttpConnections).set(b, http);
+    matrix.of(FeatureKind::TcpSyn).set(b, syn);
+    // Distinct destinations: m popularity-weighted draws from a pool of
+    // effective size P cover ~P(1 - (1 - 1/P)^m) distinct addresses.
+    const double distinct =
+        distinct_draws == 0
+            ? 0.0
+            : effective_pool *
+                  (1.0 - std::pow(1.0 - 1.0 / effective_pool, distinct_draws));
+    matrix.of(FeatureKind::DistinctConnections).set(b, std::round(distinct));
+  }
+  return matrix;
+}
+
+std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfile& user,
+                                                                Timestamp begin,
+                                                                Timestamp end) const {
+  MONOHIDS_EXPECT(begin < end, "empty packet range");
+  MONOHIDS_EXPECT(end <= config_.horizon(), "range beyond generator horizon");
+
+  const util::BinGrid grid = config_.grid;
+  const DestinationPools pools = make_pools(user);
+
+  // The same bin-walk as generate_features, with identical draws from the
+  // "bins" stream — so session counts and footprints match the bin-level
+  // trace exactly. Arrival offsets come from a dedicated stream (always
+  // consumed, so any [begin,end) window sees the same sessions at the same
+  // times); per-packet details (ephemeral ports, jitter) come from a packet
+  // stream and may differ between windows.
+  util::Xoshiro256 rng(util::derive_seed(user.seed, "bins", 0));
+  util::Xoshiro256 arrival_rng(util::derive_seed(user.seed, "arrivals", 0));
+  util::Xoshiro256 packet_rng(util::derive_seed(user.seed, "packets", 0));
+  EpisodeProcess episodes(user, config_.episode_log_mu,
+                          util::derive_seed(user.seed, "episodes", 0));
+
+  const double bin_hours =
+      static_cast<double>(grid.width()) / static_cast<double>(util::kMicrosPerHour);
+  std::vector<net::PacketRecord> out;
+
+  const std::uint64_t first_bin = grid.bin_of(begin);
+  const std::uint64_t last_bin = grid.bin_of(end - 1);
+  // Advance the shared RNG streams deterministically through skipped bins so
+  // a [begin,end) window reproduces the exact traffic of the full trace.
+  for (std::uint64_t b = 0; b <= last_bin; ++b) {
+    const Timestamp start = grid.bin_start(b);
+    const Timestamp mid = start + grid.width() / 2;
+    const double act = activity_at(user.diurnal, mid);
+    const double boost = episodes.step(start, bin_hours, act);
+    const std::uint32_t week = util::week_of(mid);
+    const bool render = b >= first_bin;
+
+    for (AppKind app : kAllApps) {
+      const double lambda =
+          user.rate_of(app) * act * boost * user.drift(week, app) * bin_hours;
+      const std::uint64_t sessions = stats::sample_poisson(rng, lambda);
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        SessionFootprint f = sample_footprint(app, rng);
+        const Timestamp at =
+            start + static_cast<util::Duration>(arrival_rng.uniform01() *
+                                                static_cast<double>(grid.width() - 1));
+        if (!render) continue;
+        // Resolver cache, matching the bin-level path statistically.
+        std::uint32_t kept_dns = 0;
+        for (std::uint32_t d = 0; d < f.dns_connections; ++d) {
+          if (packet_rng.uniform01() >= user.dns_cache_hit) ++kept_dns;
+        }
+        f.udp_connections -= (f.dns_connections - kept_dns);
+        f.dns_connections = kept_dns;
+        emit_session_packets(app, f, at, user.address, pools, packet_rng, out);
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const net::PacketRecord& a, const net::PacketRecord& b) {
+    return a.timestamp < b.timestamp;
+  });
+  // Clip: sessions started near the end of the window may spill past `end`.
+  while (!out.empty() && out.back().timestamp >= end) out.pop_back();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [begin](const net::PacketRecord& p) {
+                             return p.timestamp < begin;
+                           }),
+            out.end());
+  return out;
+}
+
+}  // namespace monohids::trace

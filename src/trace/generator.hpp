@@ -1,0 +1,71 @@
+// Trace generation: turns a UserProfile into traffic.
+//
+// Two render paths, driven by the same stochastic session model:
+//
+//   - generate_packets(): materializes actual PacketRecords (windump-style)
+//     for a time range. Full fidelity; cost scales with traffic volume, so
+//     it is used for tests, examples and pipeline validation.
+//   - generate_features(): renders per-bin feature counts directly by
+//     sampling the same session arrivals and SessionFootprints, skipping
+//     packet materialization. This is the path the 350-user, multi-week
+//     statistical experiments run on (the paper's analysis is entirely
+//     bin-level, so nothing is lost; integration tests check the two paths
+//     agree statistically).
+//
+// Both paths are deterministic functions of (profile, config) — they derive
+// all randomness from the user's seed.
+#pragma once
+
+#include <vector>
+
+#include "features/pipeline.hpp"
+#include "features/time_series.hpp"
+#include "net/packet.hpp"
+#include "trace/user_profile.hpp"
+
+namespace monohids::trace {
+
+struct GeneratorConfig {
+  util::BinGrid grid = util::BinGrid::minutes(15);
+  std::uint32_t weeks = 5;  ///< horizon; the paper's traces span 5 weeks
+
+  /// Mean of the burst-episode multiplier's log (multiplier = 1 + lognormal).
+  double episode_log_mu = 0.5;
+
+  /// Effective-pool factor for the distinct-destination approximation in the
+  /// bin-level path (destination picks are popularity-weighted, so the
+  /// effective pool is smaller than the nominal one).
+  double distinct_pool_factor = 0.6;
+
+  [[nodiscard]] util::Duration horizon() const noexcept {
+    return weeks * util::kMicrosPerWeek;
+  }
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(GeneratorConfig config = {});
+
+  [[nodiscard]] const GeneratorConfig& config() const noexcept { return config_; }
+
+  /// Fast path: the user's six binned feature series over the full horizon.
+  [[nodiscard]] features::FeatureMatrix generate_features(const UserProfile& user) const;
+
+  /// Full path: time-sorted packets for [begin, end). `begin`/`end` must lie
+  /// within the horizon, begin < end.
+  [[nodiscard]] std::vector<net::PacketRecord> generate_packets(const UserProfile& user,
+                                                                util::Timestamp begin,
+                                                                util::Timestamp end) const;
+
+  /// The user's deterministic destination pools (shared by the packet path
+  /// and by anyone replaying the trace).
+  [[nodiscard]] DestinationPools make_pools(const UserProfile& user) const;
+
+ private:
+  /// Burst-episode state machine shared by both paths.
+  class EpisodeProcess;
+
+  GeneratorConfig config_;
+};
+
+}  // namespace monohids::trace

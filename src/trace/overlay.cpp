@@ -1,0 +1,44 @@
+#include "trace/overlay.hpp"
+
+#include "util/error.hpp"
+
+namespace monohids::trace {
+
+features::BinnedSeries make_constant_attack(util::BinGrid grid, util::Duration horizon,
+                                            double size, std::uint64_t first_bin,
+                                            std::uint64_t last_bin) {
+  MONOHIDS_EXPECT(size >= 0.0, "attack size must be non-negative");
+  features::BinnedSeries b(grid, horizon);
+  MONOHIDS_EXPECT(first_bin <= last_bin && last_bin < b.bin_count(),
+                  "attack window out of range");
+  for (std::uint64_t i = first_bin; i <= last_bin; ++i) b.set(i, size);
+  return b;
+}
+
+features::BinnedSeries overlay(const features::BinnedSeries& user,
+                               const features::BinnedSeries& attack) {
+  return user + attack;
+}
+
+features::BinnedSeries overlay_tiled(const features::BinnedSeries& user,
+                                     const features::BinnedSeries& attack) {
+  MONOHIDS_EXPECT(user.grid().width() == attack.grid().width(),
+                  "user and attack series use different bin widths");
+  MONOHIDS_EXPECT(attack.bin_count() > 0, "attack series is empty");
+  features::BinnedSeries out = user;
+  for (std::size_t i = 0; i < user.bin_count(); ++i) {
+    out.set(i, user.at(i) + attack.at(i % attack.bin_count()));
+  }
+  return out;
+}
+
+features::FeatureMatrix overlay_tiled(const features::FeatureMatrix& user,
+                                      const features::FeatureMatrix& attack) {
+  features::FeatureMatrix out;
+  for (features::FeatureKind f : features::kAllFeatures) {
+    out.of(f) = overlay_tiled(user.of(f), attack.of(f));
+  }
+  return out;
+}
+
+}  // namespace monohids::trace

@@ -1,0 +1,34 @@
+// Attack overlay: the paper's additive threat model g + b.
+//
+// The botmaster's traffic adds to whatever the user generates; these
+// helpers build attack series b and overlay them on user series g. Constant
+// attacks put `size` extra units in every bin of a window (the Fig. 4 naive
+// sweep); matrix overlays add a full zombie footprint (the Fig. 5 Storm
+// replay, repeated/tiled if the user trace is longer than the attack).
+#pragma once
+
+#include "features/time_series.hpp"
+
+namespace monohids::trace {
+
+/// A constant-rate attack of `size` per bin over bins [first_bin, last_bin].
+[[nodiscard]] features::BinnedSeries make_constant_attack(util::BinGrid grid,
+                                                          util::Duration horizon, double size,
+                                                          std::uint64_t first_bin,
+                                                          std::uint64_t last_bin);
+
+/// g + b for one feature; shapes must match.
+[[nodiscard]] features::BinnedSeries overlay(const features::BinnedSeries& user,
+                                             const features::BinnedSeries& attack);
+
+/// Adds attack series b (possibly shorter) onto user series g, tiling b
+/// periodically to cover g's horizon — the paper replays the one-week Storm
+/// trace over multi-week user traces.
+[[nodiscard]] features::BinnedSeries overlay_tiled(const features::BinnedSeries& user,
+                                                   const features::BinnedSeries& attack);
+
+/// Tiled overlay across all six features.
+[[nodiscard]] features::FeatureMatrix overlay_tiled(const features::FeatureMatrix& user,
+                                                    const features::FeatureMatrix& attack);
+
+}  // namespace monohids::trace

@@ -1,0 +1,43 @@
+// libpcap-format trace export/import.
+//
+// write_pcap() renders PacketRecords as a classic pcap file (Ethernet II /
+// IPv4 / TCP|UDP|ICMP with correct lengths and IPv4 header checksums), so a
+// synthetic enterprise trace opens directly in Wireshark/tcpdump;
+// read_pcap() parses real captures (either byte order, micro- or
+// nanosecond timestamps) back into PacketRecords, so the whole pipeline —
+// flow table, features, policies — runs on actual traffic without any
+// conversion step. Non-IPv4 frames are counted and skipped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace monohids::trace {
+
+/// Import statistics alongside the parsed packets.
+struct PcapReadResult {
+  std::vector<net::PacketRecord> packets;
+  std::uint64_t skipped_non_ipv4 = 0;   ///< frames with another ethertype
+  std::uint64_t skipped_protocol = 0;   ///< IPv4 but not TCP/UDP/ICMP
+  std::uint64_t truncated = 0;          ///< snaplen cut into the headers
+  bool nanosecond_timestamps = false;
+  bool byte_swapped = false;
+};
+
+/// Writes a pcap file (linktype Ethernet, microsecond timestamps).
+/// Payload bytes are rendered as zeros — headers carry all the information
+/// the study uses. Timestamps are microseconds from trace start.
+void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets);
+
+/// Parses a pcap stream. Throws InputError on malformed files; tolerates
+/// unknown upper protocols by skipping (counted in the result).
+[[nodiscard]] PcapReadResult read_pcap(std::istream& in);
+
+/// RFC 1071 checksum over a 16-bit-aligned header (exposed for tests).
+[[nodiscard]] std::uint16_t ipv4_header_checksum(const std::uint8_t* header,
+                                                 std::size_t length);
+
+}  // namespace monohids::trace

@@ -1,0 +1,211 @@
+#include "trace/storm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/classify.hpp"
+#include "stats/sampling.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+
+namespace {
+
+using util::Timestamp;
+
+/// On/off wave process (spam campaigns, scan phases) stepped per bin.
+class WaveProcess {
+ public:
+  WaveProcess(double waves_per_day, double mean_minutes, std::uint64_t seed)
+      : rate_per_hour_(waves_per_day / 24.0), mean_minutes_(mean_minutes), rng_(seed) {}
+
+  /// Fraction of the bin spent inside a wave (0 = off, 1 = fully on).
+  double step(Timestamp bin_start, double bin_hours) {
+    const Timestamp bin_end = bin_start + util::from_seconds(bin_hours * 3600.0);
+    if (!active_ && rng_.uniform01() < std::min(1.0, rate_per_hour_ * bin_hours)) {
+      active_ = true;
+      const double minutes = stats::sample_exponential(rng_, 1.0 / mean_minutes_);
+      wave_end_ = bin_start + util::from_seconds(minutes * 60.0);
+    }
+    if (!active_) return 0.0;
+    if (wave_end_ >= bin_end) return 1.0;
+    const double fraction = static_cast<double>(wave_end_ - bin_start) /
+                            static_cast<double>(bin_end - bin_start);
+    active_ = false;
+    return std::max(0.0, fraction);
+  }
+
+ private:
+  double rate_per_hour_;
+  double mean_minutes_;
+  util::Xoshiro256 rng_;
+  bool active_ = false;
+  Timestamp wave_end_ = 0;
+};
+
+struct BinLoads {
+  double p2p_probes = 0;
+  double spam_relays = 0;
+  double scan_probes = 0;
+};
+
+/// Samples per-bin event counts; shared by both render paths so the packet
+/// trace and the feature matrix describe the same attack.
+class StormProcess {
+ public:
+  explicit StormProcess(const StormConfig& config)
+      : config_(config),
+        spam_waves_(config.spam_waves_per_day, config.spam_wave_mean_minutes,
+                    util::derive_seed(config.seed, "spam-waves", 0)),
+        scan_phases_(config.scan_phases_per_day, config.scan_phase_mean_minutes,
+                     util::derive_seed(config.seed, "scan-phases", 0)),
+        rng_(util::derive_seed(config.seed, "loads", 0)) {}
+
+  BinLoads step(Timestamp bin_start, double bin_minutes) {
+    const double bin_hours = bin_minutes / 60.0;
+    BinLoads loads;
+    loads.p2p_probes = static_cast<double>(
+        stats::sample_poisson(rng_, config_.p2p_probes_per_minute * bin_minutes));
+    const double spam_on = spam_waves_.step(bin_start, bin_hours);
+    if (spam_on > 0.0) {
+      loads.spam_relays = static_cast<double>(stats::sample_poisson(
+          rng_, config_.spam_relays_per_minute * bin_minutes * spam_on));
+    }
+    const double scan_on = scan_phases_.step(bin_start, bin_hours);
+    if (scan_on > 0.0) {
+      loads.scan_probes = static_cast<double>(stats::sample_poisson(
+          rng_, config_.scan_probes_per_minute * bin_minutes * scan_on));
+    }
+    return loads;
+  }
+
+ private:
+  StormConfig config_;
+  WaveProcess spam_waves_;
+  WaveProcess scan_phases_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+features::FeatureMatrix generate_storm_features(const StormConfig& config) {
+  MONOHIDS_EXPECT(config.weeks > 0, "storm horizon must be at least one week");
+  const util::BinGrid grid = config.grid;
+  const util::Duration horizon = config.weeks * util::kMicrosPerWeek;
+  const double bin_minutes =
+      static_cast<double>(grid.width()) / static_cast<double>(util::kMicrosPerMinute);
+
+  features::FeatureMatrix matrix;
+  for (auto& s : matrix.series) s = features::BinnedSeries(grid, horizon);
+
+  StormProcess process(config);
+  const double universe = static_cast<double>(config.peer_universe);
+  const std::uint64_t bins = grid.bin_count(horizon);
+
+  for (std::uint64_t b = 0; b < bins; ++b) {
+    const BinLoads loads = process.step(grid.bin_start(b), bin_minutes);
+
+    const double udp = loads.p2p_probes;
+    const double tcp = loads.spam_relays + loads.scan_probes;
+    // Spam targets are often dead MXs and scans are mostly unanswered, so
+    // SYN retransmissions inflate the raw SYN count ~30%.
+    const double syn = std::round(tcp * 1.3);
+    const double dns = std::round(loads.spam_relays * 0.3);  // MX lookups
+    const double draws = loads.p2p_probes + loads.spam_relays + loads.scan_probes;
+    const double distinct =
+        draws == 0 ? 0.0 : universe * (1.0 - std::pow(1.0 - 1.0 / universe, draws));
+
+    using features::FeatureKind;
+    matrix.of(FeatureKind::UdpConnections).set(b, udp);
+    matrix.of(FeatureKind::TcpConnections).set(b, tcp);
+    matrix.of(FeatureKind::TcpSyn).set(b, syn);
+    matrix.of(FeatureKind::DnsConnections).set(b, dns);
+    matrix.of(FeatureKind::DistinctConnections).set(b, std::round(distinct));
+    // HTTP stays zero: Storm did not attack over HTTP.
+  }
+  return matrix;
+}
+
+std::vector<net::PacketRecord> generate_storm_packets(const StormConfig& config,
+                                                      net::Ipv4Address zombie,
+                                                      Timestamp begin, Timestamp end) {
+  MONOHIDS_EXPECT(begin < end, "empty packet range");
+  const util::BinGrid grid = config.grid;
+  const util::Duration horizon = config.weeks * util::kMicrosPerWeek;
+  MONOHIDS_EXPECT(end <= horizon, "range beyond storm horizon");
+  const double bin_minutes =
+      static_cast<double>(grid.width()) / static_cast<double>(util::kMicrosPerMinute);
+
+  StormProcess process(config);
+  util::Xoshiro256 rng(util::derive_seed(config.seed, "packets", 0));
+  std::vector<net::PacketRecord> out;
+
+  auto random_peer = [&] {
+    return net::Ipv4Address(static_cast<std::uint32_t>(
+        stats::sample_uniform_int(rng, 1u << 24, (200u << 24) - 1)));
+  };
+  auto offset_in_bin = [&](Timestamp bin_start) {
+    return bin_start + static_cast<util::Duration>(
+                           rng.uniform01() * static_cast<double>(grid.width() - 1));
+  };
+
+  const std::uint64_t last_bin = grid.bin_of(end - 1);
+  for (std::uint64_t b = 0; b <= last_bin; ++b) {
+    const Timestamp start = grid.bin_start(b);
+    const BinLoads loads = process.step(start, bin_minutes);
+    if (start + grid.width() <= begin) continue;  // wave state already advanced
+
+    for (double i = 0; i < loads.p2p_probes; ++i) {
+      const Timestamp at = offset_in_bin(start);
+      const net::FiveTuple t{zombie, random_peer(),
+                             static_cast<std::uint16_t>(
+                                 stats::sample_uniform_int(rng, 1025, 65535)),
+                             static_cast<std::uint16_t>(
+                                 stats::sample_uniform_int(rng, 10000, 30000)),
+                             net::Protocol::Udp};
+      out.push_back({at, t, net::TcpFlags::None, 25});
+    }
+    for (double i = 0; i < loads.spam_relays; ++i) {
+      // SMTP connection attempt; ~40% of MXs never answer (SYN + retransmit
+      // only), the rest complete a short relay exchange.
+      const Timestamp at = offset_in_bin(start);
+      const net::FiveTuple t{zombie, random_peer(),
+                             static_cast<std::uint16_t>(
+                                 stats::sample_uniform_int(rng, 1025, 65535)),
+                             net::ports::kSmtp, net::Protocol::Tcp};
+      out.push_back({at, t, net::TcpFlags::Syn, 0});
+      if (rng.uniform01() < 0.4) {
+        out.push_back({at + 3 * util::kMicrosPerSecond, t, net::TcpFlags::Syn, 0});
+      } else {
+        out.push_back({at + 30'000, t.reversed(),
+                       net::TcpFlags::Syn | net::TcpFlags::Ack, 0});
+        out.push_back({at + 60'000, t, net::TcpFlags::Ack | net::TcpFlags::Psh, 900});
+        out.push_back({at + 200'000, t, net::TcpFlags::Fin | net::TcpFlags::Ack, 0});
+        out.push_back({at + 230'000, t.reversed(),
+                       net::TcpFlags::Fin | net::TcpFlags::Ack, 0});
+      }
+    }
+    for (double i = 0; i < loads.scan_probes; ++i) {
+      const Timestamp at = offset_in_bin(start);
+      const net::FiveTuple t{zombie, random_peer(),
+                             static_cast<std::uint16_t>(
+                                 stats::sample_uniform_int(rng, 1025, 65535)),
+                             static_cast<std::uint16_t>(
+                                 stats::sample_uniform_int(rng, 1, 1024)),
+                             net::Protocol::Tcp};
+      out.push_back({at, t, net::TcpFlags::Syn, 0});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const net::PacketRecord& a, const net::PacketRecord& b) {
+    return a.timestamp < b.timestamp;
+  });
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [begin, end](const net::PacketRecord& p) {
+                             return p.timestamp < begin || p.timestamp >= end;
+                           }),
+            out.end());
+  return out;
+}
+
+}  // namespace monohids::trace

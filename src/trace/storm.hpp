@@ -1,0 +1,60 @@
+// Storm-botnet zombie workload.
+//
+// Section 6.2's real-attack experiment overlays a week-long trace collected
+// from a live STORM zombie onto every user trace and evaluates detection on
+// num-distinct-connections. We cannot ship that proprietary capture, so this
+// generator reproduces the zombie's published behavioral signature:
+//
+//   - continuous Overnet-style UDP peer chatter (probes to a large,
+//     churning peer population — many distinct destinations at all hours),
+//   - spam-relay campaigns: bursts of SMTP (TCP/25) connections to many
+//     distinct mail exchangers, arriving in on/off waves,
+//   - periodic DNS MX lookups supporting the spam waves,
+//   - short TCP scan phases recruiting new peers.
+//
+// Unlike user traffic it has no diurnal rhythm — bots do not sleep — which
+// is exactly why its distinct-connection footprint both overlaps light
+// users' normal range and sticks out against their night-time quiet.
+#pragma once
+
+#include "features/time_series.hpp"
+#include "net/packet.hpp"
+#include "trace/apps.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::trace {
+
+struct StormConfig {
+  std::uint64_t seed = 1007;
+  util::BinGrid grid = util::BinGrid::minutes(15);
+  std::uint32_t weeks = 1;  ///< the paper's zombie trace spans one week
+
+  /// Mean UDP peer probes per minute during P2P chatter.
+  double p2p_probes_per_minute = 2.5;
+  /// Effective size of the churning peer universe.
+  std::uint32_t peer_universe = 30000;
+
+  /// Spam waves: mean arrivals per day, mean duration, and relay intensity.
+  double spam_waves_per_day = 12.0;
+  double spam_wave_mean_minutes = 60.0;
+  double spam_relays_per_minute = 28.0;
+
+  /// Scan phases: mean arrivals per day and probe intensity.
+  double scan_phases_per_day = 0.7;
+  double scan_probes_per_minute = 40.0;
+  double scan_phase_mean_minutes = 12.0;
+};
+
+/// Renders the zombie's feature matrix (the additive attack term b in
+/// g + b). Deterministic given the config.
+[[nodiscard]] features::FeatureMatrix generate_storm_features(const StormConfig& config);
+
+/// Renders zombie packets for [begin, end) — used to validate the feature
+/// rendering through the real pipeline. `zombie` is the infected host's
+/// address.
+[[nodiscard]] std::vector<net::PacketRecord> generate_storm_packets(const StormConfig& config,
+                                                                    net::Ipv4Address zombie,
+                                                                    util::Timestamp begin,
+                                                                    util::Timestamp end);
+
+}  // namespace monohids::trace

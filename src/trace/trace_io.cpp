@@ -1,0 +1,197 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'H', 'T', 'R', 'A', 'C', 'E', '\0'};
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> buf;
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf.data(), buf.size());
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> buf;
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf.data(), buf.size());
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::array<char, 4> buf;
+  in.read(buf.data(), buf.size());
+  MONOHIDS_ENSURE(in.good(), "truncated trace file");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(buf[i]);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::array<char, 8> buf;
+  in.read(buf.data(), buf.size());
+  MONOHIDS_ENSURE(in.good(), "truncated trace file");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(buf[i]);
+  return v;
+}
+
+}  // namespace
+
+void write_packet_trace(std::ostream& out, const std::vector<net::PacketRecord>& packets) {
+  out.write(kMagic.data(), kMagic.size());
+  put_u32(out, kTraceFormatVersion);
+  put_u64(out, packets.size());
+  for (const net::PacketRecord& p : packets) {
+    put_u64(out, p.timestamp);
+    put_u32(out, p.tuple.src_ip.value());
+    put_u32(out, p.tuple.dst_ip.value());
+    put_u32(out, (std::uint32_t{p.tuple.src_port} << 16) | p.tuple.dst_port);
+    put_u32(out, (std::uint32_t{static_cast<std::uint8_t>(p.tuple.protocol)} << 24) |
+                     (std::uint32_t{static_cast<std::uint8_t>(p.tcp_flags)} << 16) |
+                     p.payload_bytes);
+  }
+}
+
+std::vector<net::PacketRecord> read_packet_trace(std::istream& in) {
+  std::array<char, 8> magic;
+  in.read(magic.data(), magic.size());
+  MONOHIDS_ENSURE(in.good() && magic == kMagic, "not a monohids trace file");
+  const std::uint32_t version = get_u32(in);
+  MONOHIDS_ENSURE(version == kTraceFormatVersion,
+                  "unsupported trace version " + std::to_string(version));
+  const std::uint64_t count = get_u64(in);
+
+  std::vector<net::PacketRecord> packets;
+  packets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    net::PacketRecord p;
+    p.timestamp = get_u64(in);
+    p.tuple.src_ip = net::Ipv4Address(get_u32(in));
+    p.tuple.dst_ip = net::Ipv4Address(get_u32(in));
+    const std::uint32_t ports = get_u32(in);
+    p.tuple.src_port = static_cast<std::uint16_t>(ports >> 16);
+    p.tuple.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+    const std::uint32_t tail = get_u32(in);
+    p.tuple.protocol = static_cast<net::Protocol>((tail >> 24) & 0xFF);
+    p.tcp_flags = static_cast<net::TcpFlags>((tail >> 16) & 0xFF);
+    p.payload_bytes = static_cast<std::uint16_t>(tail & 0xFFFF);
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+void write_packet_csv(std::ostream& out, const std::vector<net::PacketRecord>& packets) {
+  util::CsvWriter csv(out);
+  csv.write_row({"timestamp_us", "src", "dst", "sport", "dport", "proto", "flags", "payload"});
+  for (const net::PacketRecord& p : packets) {
+    csv.write_row({util::CsvWriter::format(p.timestamp), p.tuple.src_ip.to_string(),
+                   p.tuple.dst_ip.to_string(), std::to_string(p.tuple.src_port),
+                   std::to_string(p.tuple.dst_port), net::to_string(p.tuple.protocol),
+                   std::to_string(static_cast<int>(p.tcp_flags)),
+                   std::to_string(p.payload_bytes)});
+  }
+}
+
+namespace {
+
+net::Protocol parse_protocol(const std::string& text) {
+  if (text == "tcp") return net::Protocol::Tcp;
+  if (text == "udp") return net::Protocol::Udp;
+  if (text == "icmp") return net::Protocol::Icmp;
+  throw InputError("unknown protocol in packet CSV: " + text);
+}
+
+std::uint64_t parse_u64_field(const std::string& text, const char* what) {
+  MONOHIDS_ENSURE(!text.empty(), std::string("empty ") + what + " in packet CSV");
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    throw InputError(std::string("malformed ") + what + " in packet CSV: " + text);
+  }
+  MONOHIDS_ENSURE(pos == text.size(),
+                  std::string("malformed ") + what + " in packet CSV: " + text);
+  return value;
+}
+
+}  // namespace
+
+std::vector<net::PacketRecord> read_packet_csv(std::istream& in) {
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto rows = util::csv_parse(text);
+  MONOHIDS_ENSURE(!rows.empty(), "packet CSV is empty");
+  MONOHIDS_ENSURE(rows[0].size() == 8 && rows[0][0] == "timestamp_us",
+                  "packet CSV header does not match the expected format");
+
+  std::vector<net::PacketRecord> packets;
+  packets.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    MONOHIDS_ENSURE(row.size() == 8, "packet CSV row has the wrong field count");
+    net::PacketRecord p;
+    p.timestamp = parse_u64_field(row[0], "timestamp");
+    p.tuple.src_ip = net::Ipv4Address::parse(row[1]);
+    p.tuple.dst_ip = net::Ipv4Address::parse(row[2]);
+    p.tuple.src_port = static_cast<std::uint16_t>(parse_u64_field(row[3], "src port"));
+    p.tuple.dst_port = static_cast<std::uint16_t>(parse_u64_field(row[4], "dst port"));
+    p.tuple.protocol = parse_protocol(row[5]);
+    const auto flags = parse_u64_field(row[6], "flags");
+    MONOHIDS_ENSURE(flags <= 0xFF, "TCP flags out of range in packet CSV");
+    p.tcp_flags = static_cast<net::TcpFlags>(flags);
+    p.payload_bytes = static_cast<std::uint16_t>(parse_u64_field(row[7], "payload"));
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+void write_feature_csv(std::ostream& out, const features::FeatureMatrix& matrix) {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{"bin_start_us"};
+  for (features::FeatureKind f : features::kAllFeatures) {
+    header.emplace_back(features::name_of(f));
+  }
+  csv.write_row(header);
+
+  const auto& first = matrix.series.front();
+  for (std::size_t b = 0; b < first.bin_count(); ++b) {
+    std::vector<std::string> row{util::CsvWriter::format(first.grid().bin_start(b))};
+    for (features::FeatureKind f : features::kAllFeatures) {
+      row.push_back(util::CsvWriter::format(matrix.of(f).at(b)));
+    }
+    csv.write_row(row);
+  }
+}
+
+features::FeatureMatrix read_feature_csv(std::istream& in, util::BinGrid grid) {
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto rows = util::csv_parse(text);
+  MONOHIDS_ENSURE(rows.size() >= 2, "feature CSV has no data rows");
+  MONOHIDS_ENSURE(rows[0].size() == 1 + features::kFeatureCount,
+                  "feature CSV has the wrong column count");
+
+  const std::size_t bins = rows.size() - 1;
+  const util::Duration horizon = bins * grid.width();
+  features::FeatureMatrix matrix;
+  for (auto& s : matrix.series) s = features::BinnedSeries(grid, horizon);
+
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    MONOHIDS_ENSURE(rows[r].size() == 1 + features::kFeatureCount,
+                    "feature CSV row has the wrong column count");
+    for (std::size_t c = 0; c < features::kFeatureCount; ++c) {
+      matrix.series[c].set(r - 1, std::stod(rows[r][c + 1]));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace monohids::trace

@@ -1,0 +1,20 @@
+// UserProfile is a plain aggregate; this TU anchors the header in the
+// library archive.
+#include "trace/user_profile.hpp"
+
+namespace monohids::trace {
+
+static_assert(kAppCount == 6);
+
+std::string_view name_of(Archetype a) noexcept {
+  switch (a) {
+    case Archetype::Browser: return "browser";
+    case Archetype::Developer: return "developer";
+    case Archetype::Media: return "media";
+    case Archetype::MailCentric: return "mail-centric";
+    case Archetype::Balanced: return "balanced";
+  }
+  return "unknown";
+}
+
+}  // namespace monohids::trace

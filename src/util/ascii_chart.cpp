@@ -1,0 +1,215 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace monohids::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double apply_scale(double v, Scale scale) {
+  return scale == Scale::Log10 ? std::log10(v) : v;
+}
+
+bool usable(double v, Scale scale) {
+  if (!std::isfinite(v)) return false;
+  return scale != Scale::Log10 || v > 0.0;
+}
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void extend(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  void pad_if_degenerate() {
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+std::string format_tick(double scaled, Scale scale) {
+  std::ostringstream os;
+  os.precision(4);
+  if (scale == Scale::Log10) {
+    os << std::pow(10.0, scaled);
+  } else {
+    os << scaled;
+  }
+  return os.str();
+}
+
+/// Shared canvas-based renderer for line charts and scatter plots.
+std::string render_points(const std::vector<Series>& series, const ChartOptions& options,
+                          bool connect) {
+  MONOHIDS_EXPECT(options.width >= 16 && options.height >= 4, "chart area too small");
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    MONOHIDS_EXPECT(s.x.size() == s.y.size(), "series x/y lengths differ: " + s.name);
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], options.x_scale) || !usable(s.y[i], options.y_scale)) continue;
+      xr.extend(apply_scale(s.x[i], options.x_scale));
+      yr.extend(apply_scale(s.y[i], options.y_scale));
+    }
+  }
+  if (options.y_min && usable(*options.y_min, options.y_scale)) {
+    yr.extend(apply_scale(*options.y_min, options.y_scale));
+  }
+  if (options.y_max && usable(*options.y_max, options.y_scale)) {
+    yr.extend(apply_scale(*options.y_max, options.y_scale));
+  }
+  if (!xr.valid() || !yr.valid()) return "(no drawable points)\n";
+  xr.pad_if_degenerate();
+  yr.pad_if_degenerate();
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  auto to_col = [&](double xs) {
+    return std::clamp(static_cast<int>(std::lround((xs - xr.lo) / (xr.hi - xr.lo) * (w - 1))), 0,
+                      w - 1);
+  };
+  auto to_row = [&](double ys) {
+    // row 0 is the top of the canvas
+    return std::clamp(
+        static_cast<int>(std::lround((yr.hi - ys) / (yr.hi - yr.lo) * (h - 1))), 0, h - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % std::size(kGlyphs)];
+    const auto& s = series[si];
+    int prev_col = -1, prev_row = -1;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], options.x_scale) || !usable(s.y[i], options.y_scale)) {
+        prev_col = -1;
+        continue;
+      }
+      const int col = to_col(apply_scale(s.x[i], options.x_scale));
+      const int row = to_row(apply_scale(s.y[i], options.y_scale));
+      if (connect && prev_col >= 0) {
+        // draw a crude line by stepping along the longer axis
+        const int steps = std::max(std::abs(col - prev_col), std::abs(row - prev_row));
+        for (int k = 1; k < steps; ++k) {
+          const int c = prev_col + (col - prev_col) * k / steps;
+          const int r = prev_row + (row - prev_row) * k / steps;
+          if (canvas[r][c] == ' ') canvas[r][c] = '.';
+        }
+      }
+      canvas[row][col] = glyph;
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  const std::string top_tick = format_tick(yr.hi, options.y_scale);
+  const std::string bottom_tick = format_tick(yr.lo, options.y_scale);
+  const std::size_t margin = std::max(top_tick.size(), bottom_tick.size()) + 1;
+  for (int r = 0; r < h; ++r) {
+    std::string tick;
+    if (r == 0) tick = top_tick;
+    if (r == h - 1) tick = bottom_tick;
+    os << std::string(margin - tick.size(), ' ') << tick << '|' << canvas[r] << '\n';
+  }
+  os << std::string(margin, ' ') << '+' << std::string(w, '-') << '\n';
+  const std::string left_tick = format_tick(xr.lo, options.x_scale);
+  const std::string right_tick = format_tick(xr.hi, options.x_scale);
+  os << std::string(margin + 1, ' ') << left_tick
+     << std::string(
+            std::max<std::size_t>(1, static_cast<std::size_t>(w) - left_tick.size() -
+                                         right_tick.size()),
+            ' ')
+     << right_tick << '\n';
+  if (!options.x_label.empty()) {
+    os << std::string(margin + 1 + w / 2 - options.x_label.size() / 2, ' ') << options.x_label
+       << '\n';
+  }
+  os << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % std::size(kGlyphs)] << " = " << series[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  return render_points(series, options, /*connect=*/true);
+}
+
+std::string render_scatter(const std::vector<Series>& series, const ChartOptions& options) {
+  return render_points(series, options, /*connect=*/false);
+}
+
+std::string render_boxplot(const std::vector<LabelledBox>& boxes, const ChartOptions& options) {
+  MONOHIDS_EXPECT(!boxes.empty(), "boxplot needs at least one box");
+  Range r;
+  for (const auto& b : boxes) {
+    for (double v : {b.stats.whisker_low, b.stats.q1, b.stats.median, b.stats.q3,
+                     b.stats.whisker_high}) {
+      if (usable(v, options.x_scale)) r.extend(apply_scale(v, options.x_scale));
+    }
+  }
+  if (!r.valid()) return "(no drawable boxes)\n";
+  r.pad_if_degenerate();
+
+  std::size_t label_width = 0;
+  for (const auto& b : boxes) label_width = std::max(label_width, b.label.size());
+
+  const int w = options.width;
+  auto to_col = [&](double v) {
+    const double s = apply_scale(v, options.x_scale);
+    return std::clamp(static_cast<int>(std::lround((s - r.lo) / (r.hi - r.lo) * (w - 1))), 0,
+                      w - 1);
+  };
+
+  std::ostringstream os;
+  for (const auto& b : boxes) {
+    std::string line(w, ' ');
+    const int lo = to_col(b.stats.whisker_low);
+    const int q1 = to_col(b.stats.q1);
+    const int med = to_col(b.stats.median);
+    const int q3 = to_col(b.stats.q3);
+    const int hi = to_col(b.stats.whisker_high);
+    for (int c = lo; c <= hi; ++c) line[c] = '-';
+    for (int c = q1; c <= q3; ++c) line[c] = '=';
+    line[lo] = '|';
+    line[hi] = '|';
+    if (q1 != med && q3 != med) {
+      line[q1] = '[';
+      line[q3] = ']';
+    }
+    line[med] = '#';
+    os << b.label << std::string(label_width - b.label.size(), ' ') << " |" << line << '|';
+    if (b.stats.outliers > 0) os << "  (outliers: " << b.stats.outliers << ')';
+    os << '\n';
+  }
+  os << std::string(label_width, ' ') << " +" << std::string(w, '-') << "+\n";
+  const std::string left = format_tick(r.lo, options.x_scale);
+  const std::string right = format_tick(r.hi, options.x_scale);
+  os << std::string(label_width + 2, ' ') << left
+     << std::string(std::max<std::size_t>(
+                        1, static_cast<std::size_t>(w) - left.size() - right.size()),
+                    ' ')
+     << right << '\n';
+  if (!options.x_label.empty()) os << std::string(label_width + 2, ' ') << options.x_label << '\n';
+  return os.str();
+}
+
+}  // namespace monohids::util

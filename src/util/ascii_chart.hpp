@@ -1,0 +1,68 @@
+// ASCII chart rendering for the benchmark harness.
+//
+// Each paper figure is regenerated as (a) a CSV data series and (b) an ASCII
+// rendering that shows the *shape* (who wins, where crossovers fall) directly
+// in the terminal: line charts for series vs a swept parameter, scatter plots
+// for per-user points, and horizontal box plots for distribution comparisons.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace monohids::util {
+
+/// Axis scaling for charts.
+enum class Scale { Linear, Log10 };
+
+/// One named series of (x, y) points for a line chart.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling chart rendering.
+struct ChartOptions {
+  int width = 72;    ///< plot area width in characters
+  int height = 20;   ///< plot area height in characters
+  Scale x_scale = Scale::Linear;
+  Scale y_scale = Scale::Linear;
+  std::string x_label;
+  std::string y_label;
+  std::optional<double> y_min;  ///< override the auto y range
+  std::optional<double> y_max;
+};
+
+/// Renders one or more series as an ASCII line chart; each series uses a
+/// distinct glyph and appears in the legend. Log-scaled axes drop
+/// non-positive values (the paper's log-scale figures do the same).
+[[nodiscard]] std::string render_line_chart(const std::vector<Series>& series,
+                                            const ChartOptions& options);
+
+/// Renders a scatter plot of per-point data (one glyph per labelled group).
+[[nodiscard]] std::string render_scatter(const std::vector<Series>& series,
+                                         const ChartOptions& options);
+
+/// Five-number summary used by box plots.
+struct BoxStats {
+  double whisker_low = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_high = 0;
+  std::size_t outliers = 0;  ///< points beyond the whiskers
+};
+
+/// One labelled box in a box-plot chart.
+struct LabelledBox {
+  std::string label;
+  BoxStats stats;
+};
+
+/// Renders horizontal box plots on a shared axis, e.g.
+///   homogeneous  |----[==|====]--------|   (o 3)
+[[nodiscard]] std::string render_boxplot(const std::vector<LabelledBox>& boxes,
+                                         const ChartOptions& options);
+
+}  // namespace monohids::util

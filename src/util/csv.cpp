@@ -1,0 +1,96 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << csv_escape(f);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::format(double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+std::string CsvWriter::format(std::int64_t value) { return std::to_string(value); }
+std::string CsvWriter::format(std::uint64_t value) { return std::to_string(value); }
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      MONOHIDS_ENSURE(current.empty(), "quote in the middle of an unquoted CSV field");
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate trailing CR from CRLF files
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  MONOHIDS_ENSURE(!in_quotes, "unterminated quoted CSV field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> csv_parse(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && !(line.size() == 1 && line[0] == '\r')) {
+      rows.push_back(csv_parse_line(line));
+    }
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace monohids::util

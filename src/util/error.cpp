@@ -1,0 +1,26 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace monohids::detail {
+
+namespace {
+std::string format(std::string_view kind, std::string_view expr, std::string_view file, int line,
+                   std::string_view msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(std::string_view expr, std::string_view file, int line,
+                        std::string_view msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_input(std::string_view expr, std::string_view file, int line, std::string_view msg) {
+  throw InputError(format("input check", expr, file, line, msg));
+}
+
+}  // namespace monohids::detail

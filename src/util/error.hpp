@@ -1,0 +1,52 @@
+// Error-handling primitives shared by every monohids library.
+//
+// The libraries throw exceptions for contract violations and unrecoverable
+// conditions (Core Guidelines E.2/E.3): `MONOHIDS_ENSURE` guards runtime
+// conditions (bad input, malformed trace), `MONOHIDS_EXPECT` guards
+// programmer-facing preconditions on public APIs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace monohids {
+
+/// Base class for all errors raised by the monohids libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Input data (trace file, CSV, CLI flag) was malformed or out of range.
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
+                                     std::string_view msg);
+[[noreturn]] void throw_input(std::string_view expr, std::string_view file, int line,
+                              std::string_view msg);
+}  // namespace detail
+
+}  // namespace monohids
+
+/// Validates a precondition of a public API; throws PreconditionError on failure.
+#define MONOHIDS_EXPECT(cond, msg)                                                  \
+  do {                                                                              \
+    if (!(cond)) ::monohids::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validates a runtime condition on external input; throws InputError on failure.
+#define MONOHIDS_ENSURE(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond)) ::monohids::detail::throw_input(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

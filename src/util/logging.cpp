@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  throw InputError("unknown log level: " + std::string(text));
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::scoped_lock lock(g_emit_mutex);
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace monohids::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The libraries are quiet by default (level = Warn); experiment binaries
+// raise the level with --verbose. Logging goes to stderr so it never
+// corrupts the machine-readable experiment output on stdout.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace monohids::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global threshold; messages below it are dropped.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Sets the global threshold (thread-safe, relaxed ordering is fine here).
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+/// Throws InputError on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Stream-style log statement: MONOHIDS_LOG(Info, "trace") << "users=" << n;
+/// The message body is only evaluated when the level is enabled.
+#define MONOHIDS_LOG(level, component)                                      \
+  for (bool monohids_log_once =                                             \
+           ::monohids::util::log_level() <= ::monohids::util::LogLevel::level; \
+       monohids_log_once; monohids_log_once = false)                        \
+  ::monohids::util::detail::LogLine(::monohids::util::LogLevel::level, (component)).stream()
+
+namespace detail {
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, component_, os_.str()); }
+
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace monohids::util

@@ -1,0 +1,63 @@
+#include "util/rng.hpp"
+
+namespace monohids::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a 64-bit over a byte string; used only for label mixing.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm();
+  // A state of all zeros is invalid for xoshiro; SplitMix64 cannot produce
+  // four consecutive zeros from any seed, so no further check is needed.
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) s[i] ^= state_[i];
+      }
+      (void)operator()();
+    }
+  }
+  state_ = s;
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view label,
+                          std::uint64_t index) noexcept {
+  SplitMix64 sm(master ^ fnv1a(label));
+  std::uint64_t h = sm();
+  SplitMix64 sm2(h + 0x9e3779b97f4a7c15ULL * (index + 1));
+  return sm2();
+}
+
+}  // namespace monohids::util

@@ -1,0 +1,13 @@
+// sim_time is header-only; this translation unit exists so the library has a
+// stable archive member for the header and to hold future non-inline helpers.
+#include "util/sim_time.hpp"
+
+namespace monohids::util {
+
+static_assert(kMicrosPerWeek == 604'800'000'000ULL);
+static_assert(BinGrid::minutes(15).bin_count(kMicrosPerWeek) == 672);
+static_assert(day_of_week(0) == 0);
+static_assert(is_weekend(5 * kMicrosPerDay));
+static_assert(!is_weekend(4 * kMicrosPerDay));
+
+}  // namespace monohids::util

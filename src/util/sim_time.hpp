@@ -1,0 +1,81 @@
+// Simulation time model.
+//
+// Traces span several weeks; packet timestamps are microseconds since the
+// start of the trace (t = 0 is 00:00 Monday of week 0, matching the paper's
+// Q1-2007 collection being analyzed in whole weeks). Helpers convert between
+// timestamps, 5/15-minute feature bins, days, and weeks.
+#pragma once
+
+#include <cstdint>
+
+namespace monohids::util {
+
+/// Microseconds since trace start.
+using Timestamp = std::uint64_t;
+
+/// A duration in microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kMicrosPerSecond = 1'000'000ULL;
+inline constexpr Duration kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr Duration kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr Duration kMicrosPerDay = 24 * kMicrosPerHour;
+inline constexpr Duration kMicrosPerWeek = 7 * kMicrosPerDay;
+
+[[nodiscard]] constexpr Timestamp from_seconds(double seconds) noexcept {
+  return static_cast<Timestamp>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(Timestamp t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Index of the week containing `t` (week 0 starts at t = 0).
+[[nodiscard]] constexpr std::uint32_t week_of(Timestamp t) noexcept {
+  return static_cast<std::uint32_t>(t / kMicrosPerWeek);
+}
+
+/// Day-of-week for `t`: 0 = Monday … 6 = Sunday.
+[[nodiscard]] constexpr std::uint32_t day_of_week(Timestamp t) noexcept {
+  return static_cast<std::uint32_t>((t / kMicrosPerDay) % 7);
+}
+
+/// True for Saturday/Sunday.
+[[nodiscard]] constexpr bool is_weekend(Timestamp t) noexcept { return day_of_week(t) >= 5; }
+
+/// Hour-of-day in [0, 24) as a real number (e.g. 13.5 = 13:30).
+[[nodiscard]] constexpr double hour_of_day(Timestamp t) noexcept {
+  return static_cast<double>(t % kMicrosPerDay) / static_cast<double>(kMicrosPerHour);
+}
+
+/// Fixed-width time binning used by the feature pipeline.
+class BinGrid {
+ public:
+  /// `width` must be positive.
+  explicit constexpr BinGrid(Duration width) noexcept : width_(width) {}
+
+  [[nodiscard]] constexpr Duration width() const noexcept { return width_; }
+
+  /// Index of the bin containing `t`.
+  [[nodiscard]] constexpr std::uint64_t bin_of(Timestamp t) const noexcept { return t / width_; }
+
+  /// Start timestamp of bin `index`.
+  [[nodiscard]] constexpr Timestamp bin_start(std::uint64_t index) const noexcept {
+    return index * width_;
+  }
+
+  /// Number of whole-or-partial bins covering [0, horizon).
+  [[nodiscard]] constexpr std::uint64_t bin_count(Duration horizon) const noexcept {
+    return (horizon + width_ - 1) / width_;
+  }
+
+  /// Grid with `minutes`-wide bins (the paper uses 5 and 15 minutes).
+  [[nodiscard]] static constexpr BinGrid minutes(std::uint64_t m) noexcept {
+    return BinGrid(m * kMicrosPerMinute);
+  }
+
+ private:
+  Duration width_;
+};
+
+}  // namespace monohids::util

@@ -1,0 +1,47 @@
+// ASCII table renderer for experiment output.
+//
+// Bench binaries print each paper table in the same row/column layout the
+// paper uses; this renderer handles column sizing and alignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace monohids::util {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// Accumulates rows of string cells and renders them with padded columns,
+/// a header separator, and an outer border.
+class TextTable {
+ public:
+  /// `headers` fixes the column count; every later row must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Per-column alignment; defaults to Left for all columns.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row (must have exactly as many cells as headers).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table, e.g.
+  ///   +--------+-------+
+  ///   | policy | count |
+  ///   +--------+-------+
+  ///   | homog  |  1594 |
+  ///   +--------+-------+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` fixed decimal places.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+}  // namespace monohids::util

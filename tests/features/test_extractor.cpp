@@ -1,0 +1,142 @@
+#include "features/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::features {
+namespace {
+
+using net::FiveTuple;
+using net::FlowEvent;
+using net::FlowEventKind;
+using net::Ipv4Address;
+using net::PacketRecord;
+using net::Protocol;
+using net::TcpFlags;
+using util::BinGrid;
+using util::kMicrosPerMinute;
+using util::kMicrosPerWeek;
+
+const Ipv4Address kHost = Ipv4Address::parse("10.0.0.1");
+
+FlowEvent start_event(util::Timestamp t, Protocol proto, std::uint16_t dport,
+                      const char* dst = "93.0.0.1", bool local = true) {
+  FlowEvent e;
+  e.timestamp = t;
+  e.tuple = FiveTuple{kHost, Ipv4Address::parse(dst), 50000, dport, proto};
+  e.kind = FlowEventKind::Start;
+  e.initiated_by_monitored_host = local;
+  return e;
+}
+
+FeatureExtractor make_extractor() {
+  return FeatureExtractor(BinGrid::minutes(15), kMicrosPerWeek);
+}
+
+TEST(Extractor, TcpStartCountsTcpConnections) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 5222));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::UdpConnections).at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::HttpConnections).at(0), 0.0);
+}
+
+TEST(Extractor, HttpCountsBothHttpAndTcp) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::HttpConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpConnections).at(0), 1.0);
+}
+
+TEST(Extractor, HttpsIsTcpButNotHttp) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 443));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::HttpConnections).at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpConnections).at(0), 1.0);
+}
+
+TEST(Extractor, DnsOverUdpCountsDnsAndUdp) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Udp, 53));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DnsConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::UdpConnections).at(0), 1.0);
+}
+
+TEST(Extractor, RemoteInitiatedFlowsAreIgnored) {
+  // "per source basis": only outbound-initiated activity counts.
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80, "93.0.0.1", /*local=*/false));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpConnections).at(0), 0.0);
+}
+
+TEST(Extractor, EndEventsAreIgnored) {
+  auto ex = make_extractor();
+  FlowEvent e = start_event(0, Protocol::Tcp, 80);
+  e.kind = FlowEventKind::End;
+  ex.on_flow_event(e);
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpConnections).at(0), 0.0);
+}
+
+TEST(Extractor, OutboundSynPacketsCounted) {
+  auto ex = make_extractor();
+  const FiveTuple t{kHost, Ipv4Address::parse("93.0.0.1"), 50000, 80, Protocol::Tcp};
+  ex.on_packet(PacketRecord{0, t, TcpFlags::Syn, 0}, kHost);
+  ex.on_packet(PacketRecord{10, t, TcpFlags::Syn, 0}, kHost);  // retransmit counts
+  ex.on_packet(PacketRecord{20, t.reversed(), TcpFlags::Syn | TcpFlags::Ack, 0}, kHost);
+  ex.on_packet(PacketRecord{30, t, TcpFlags::Ack, 0}, kHost);
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::TcpSyn).at(0), 2.0);
+}
+
+TEST(Extractor, DistinctDestinationsPerBin) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80, "93.0.0.1"));
+  ex.on_flow_event(start_event(10, Protocol::Tcp, 80, "93.0.0.1"));  // repeat
+  ex.on_flow_event(start_event(20, Protocol::Tcp, 80, "93.0.0.2"));
+  ex.on_flow_event(start_event(30, Protocol::Udp, 53, "10.10.255.2"));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(0), 3.0);
+}
+
+TEST(Extractor, DistinctResetsEachBin) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80, "93.0.0.1"));
+  ex.on_flow_event(start_event(15 * kMicrosPerMinute, Protocol::Tcp, 80, "93.0.0.1"));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(1), 1.0);
+}
+
+TEST(Extractor, DistinctSurvivesBinGaps) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80, "93.0.0.1"));
+  // long silence, then a different bin far later
+  ex.on_flow_event(start_event(100 * 15 * kMicrosPerMinute, Protocol::Tcp, 80, "93.0.0.9"));
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(100), 1.0);
+}
+
+TEST(Extractor, UseAfterFinishIsAnError) {
+  auto ex = make_extractor();
+  ex.finish();
+  EXPECT_THROW(ex.on_flow_event(start_event(0, Protocol::Tcp, 80)), PreconditionError);
+}
+
+TEST(Extractor, FinishIsIdempotent) {
+  auto ex = make_extractor();
+  ex.on_flow_event(start_event(0, Protocol::Tcp, 80));
+  ex.finish();
+  ex.finish();
+  EXPECT_DOUBLE_EQ(ex.matrix().of(FeatureKind::DistinctConnections).at(0), 1.0);
+}
+
+}  // namespace
+}  // namespace monohids::features

@@ -1,0 +1,139 @@
+// End-to-end: hand-built packet streams through connection tracking and
+// feature extraction. This is the fidelity bar for the whole substrate: the
+// counts that come out must equal what a human counts by hand.
+#include "features/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace monohids::features {
+namespace {
+
+using net::FiveTuple;
+using net::Ipv4Address;
+using net::PacketRecord;
+using net::Protocol;
+using net::TcpFlags;
+using util::kMicrosPerMinute;
+
+const Ipv4Address kHost = Ipv4Address::parse("10.0.0.1");
+
+/// Appends a complete TCP connection (handshake + FIN close) to `out`.
+void add_tcp_connection(std::vector<PacketRecord>& out, util::Timestamp t,
+                        const char* dst, std::uint16_t sport, std::uint16_t dport) {
+  const FiveTuple f{kHost, Ipv4Address::parse(dst), sport, dport, Protocol::Tcp};
+  out.push_back({t, f, TcpFlags::Syn, 0});
+  out.push_back({t + 10, f.reversed(), TcpFlags::Syn | TcpFlags::Ack, 0});
+  out.push_back({t + 20, f, TcpFlags::Ack, 0});
+  out.push_back({t + 30, f, TcpFlags::Fin | TcpFlags::Ack, 0});
+  out.push_back({t + 40, f.reversed(), TcpFlags::Fin | TcpFlags::Ack, 0});
+}
+
+void add_dns_lookup(std::vector<PacketRecord>& out, util::Timestamp t,
+                    std::uint16_t sport) {
+  const FiveTuple f{kHost, Ipv4Address::parse("10.10.255.2"), sport, 53, Protocol::Udp};
+  out.push_back({t, f, TcpFlags::None, 64});
+  out.push_back({t + 10, f.reversed(), TcpFlags::None, 128});
+}
+
+PipelineConfig one_week_config() {
+  PipelineConfig config;
+  config.horizon = util::kMicrosPerWeek;
+  return config;
+}
+
+TEST(Pipeline, HandCountedScenario) {
+  std::vector<PacketRecord> packets;
+  // Bin 0: two HTTP connections to distinct servers, one HTTPS to the first
+  // server, two DNS lookups (same resolver).
+  add_tcp_connection(packets, 1000, "93.0.0.1", 50001, 80);
+  add_tcp_connection(packets, 2000, "93.0.0.2", 50002, 80);
+  add_tcp_connection(packets, 3000, "93.0.0.1", 50003, 443);
+  add_dns_lookup(packets, 100, 50004);
+  add_dns_lookup(packets, 200, 50005);
+  // Bin 1: one UDP probe to a peer.
+  const FiveTuple p2p{kHost, Ipv4Address::parse("78.0.0.1"), 50006, 20000, Protocol::Udp};
+  packets.push_back({15 * kMicrosPerMinute + 100, p2p, TcpFlags::None, 25});
+  std::sort(packets.begin(), packets.end());
+
+  const auto result = extract_features(kHost, packets, one_week_config());
+  const FeatureMatrix& m = result.matrix;
+
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::TcpConnections).at(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::HttpConnections).at(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::TcpSyn).at(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::DnsConnections).at(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::UdpConnections).at(0), 2.0);
+  // distinct: 93.0.0.1, 93.0.0.2, resolver
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::DistinctConnections).at(0), 3.0);
+
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::UdpConnections).at(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::DistinctConnections).at(1), 1.0);
+
+  EXPECT_EQ(result.flow_stats.flows_created, 6u);
+  EXPECT_EQ(result.flow_stats.flows_ended_fin, 3u);
+}
+
+TEST(Pipeline, InboundTrafficDoesNotCount) {
+  std::vector<PacketRecord> packets;
+  const FiveTuple inbound{Ipv4Address::parse("93.0.0.9"), kHost, 40000, 445, Protocol::Tcp};
+  packets.push_back({1000, inbound, TcpFlags::Syn, 0});
+  packets.push_back({1100, inbound.reversed(), TcpFlags::Syn | TcpFlags::Ack, 0});
+
+  const auto result = extract_features(kHost, packets, one_week_config());
+  for (FeatureKind f : kAllFeatures) {
+    EXPECT_DOUBLE_EQ(result.matrix.of(f).at(0), 0.0) << name_of(f);
+  }
+}
+
+TEST(Pipeline, SynRetransmissionsInflateOnlySynCount) {
+  std::vector<PacketRecord> packets;
+  const FiveTuple f{kHost, Ipv4Address::parse("93.0.0.1"), 50001, 80, Protocol::Tcp};
+  packets.push_back({1000, f, TcpFlags::Syn, 0});
+  packets.push_back({3'001'000, f, TcpFlags::Syn, 0});
+  packets.push_back({6'001'000, f, TcpFlags::Syn, 0});
+
+  const auto result = extract_features(kHost, packets, one_week_config());
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::TcpSyn).at(0), 3.0);
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::TcpConnections).at(0), 1.0);
+}
+
+TEST(Pipeline, EmptyTraceYieldsAllZeros) {
+  const auto result = extract_features(kHost, {}, one_week_config());
+  for (FeatureKind f : kAllFeatures) {
+    const auto& series = result.matrix.of(f);
+    for (std::size_t b = 0; b < series.bin_count(); ++b) {
+      ASSERT_DOUBLE_EQ(series.at(b), 0.0);
+    }
+  }
+}
+
+TEST(Pipeline, LongLivedUdpFlowCountsOncePerTimeout) {
+  // A chatty UDP flow with packets every second stays one flow; after a
+  // quiet period longer than the idle timeout it counts as a new one.
+  std::vector<PacketRecord> packets;
+  const FiveTuple f{kHost, Ipv4Address::parse("78.0.0.1"), 50001, 20000, Protocol::Udp};
+  for (int i = 0; i < 30; ++i) {
+    packets.push_back({static_cast<util::Timestamp>(i) * util::kMicrosPerSecond, f,
+                       TcpFlags::None, 25});
+  }
+  packets.push_back({20 * kMicrosPerMinute, f, TcpFlags::None, 25});
+
+  const auto result = extract_features(kHost, packets, one_week_config());
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::UdpConnections).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::UdpConnections).at(1), 1.0);
+}
+
+TEST(Pipeline, FiveMinuteBinning) {
+  PipelineConfig config = one_week_config();
+  config.grid = util::BinGrid::minutes(5);
+  std::vector<PacketRecord> packets;
+  add_tcp_connection(packets, 6 * kMicrosPerMinute, "93.0.0.1", 50001, 80);
+  const auto result = extract_features(kHost, packets, config);
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::TcpConnections).at(1), 1.0);
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::TcpConnections).at(0), 0.0);
+}
+
+}  // namespace
+}  // namespace monohids::features

@@ -1,0 +1,95 @@
+#include "features/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::features {
+namespace {
+
+using util::BinGrid;
+using util::kMicrosPerMinute;
+using util::kMicrosPerWeek;
+
+TEST(BinnedSeries, ZeroInitialized) {
+  const BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek);
+  EXPECT_EQ(s.bin_count(), 672u);
+  for (std::size_t b = 0; b < s.bin_count(); ++b) EXPECT_DOUBLE_EQ(s.at(b), 0.0);
+}
+
+TEST(BinnedSeries, AddAtAccumulates) {
+  BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek);
+  s.add_at(0);
+  s.add_at(14 * kMicrosPerMinute);          // same bin
+  s.add_at(15 * kMicrosPerMinute, 2.5);     // next bin
+  EXPECT_DOUBLE_EQ(s.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.5);
+}
+
+TEST(BinnedSeries, AddBeyondHorizonIsAnError) {
+  BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek);
+  EXPECT_THROW(s.add_at(kMicrosPerWeek), PreconditionError);
+}
+
+TEST(BinnedSeries, SetAndGetBounds) {
+  BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek);
+  s.set(671, 7.0);
+  EXPECT_DOUBLE_EQ(s.at(671), 7.0);
+  EXPECT_THROW(s.set(672, 1.0), PreconditionError);
+  EXPECT_THROW((void)s.at(672), PreconditionError);
+}
+
+TEST(BinnedSeries, WeekSlices) {
+  const BinnedSeries s(BinGrid::minutes(15), 3 * kMicrosPerWeek);
+  EXPECT_EQ(s.week_count(), 3u);
+  EXPECT_EQ(s.week_slice(0).size(), 672u);
+  EXPECT_EQ(s.week_slice(2).size(), 672u);
+  EXPECT_TRUE(s.week_slice(3).empty());
+}
+
+TEST(BinnedSeries, WeekSliceViewsCorrectRegion) {
+  BinnedSeries s(BinGrid::minutes(15), 2 * kMicrosPerWeek);
+  s.set(672, 42.0);  // first bin of week 1
+  const auto slice = s.week_slice(1);
+  ASSERT_FALSE(slice.empty());
+  EXPECT_DOUBLE_EQ(slice[0], 42.0);
+}
+
+TEST(BinnedSeries, PartialLastWeek) {
+  const BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek + 10 * 15 * kMicrosPerMinute);
+  EXPECT_EQ(s.week_slice(1).size(), 10u);
+}
+
+TEST(BinnedSeries, AdditionIsElementwise) {
+  BinnedSeries a(BinGrid::minutes(15), kMicrosPerWeek);
+  BinnedSeries b(BinGrid::minutes(15), kMicrosPerWeek);
+  a.set(5, 10.0);
+  b.set(5, 3.0);
+  b.set(6, 1.0);
+  const BinnedSeries sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(5), 13.0);
+  EXPECT_DOUBLE_EQ(sum.at(6), 1.0);
+  EXPECT_DOUBLE_EQ(sum.at(7), 0.0);
+}
+
+TEST(BinnedSeries, AdditionShapeMismatchIsAnError) {
+  BinnedSeries a(BinGrid::minutes(15), kMicrosPerWeek);
+  BinnedSeries b(BinGrid::minutes(5), kMicrosPerWeek);
+  EXPECT_THROW((void)(a + b), PreconditionError);
+}
+
+TEST(BinnedSeries, FiveMinuteGrid) {
+  const BinnedSeries s(BinGrid::minutes(5), kMicrosPerWeek);
+  EXPECT_EQ(s.bin_count(), 2016u);
+}
+
+TEST(FeatureMatrix, OfAccessesPerFeatureSeries) {
+  FeatureMatrix m;
+  for (auto& s : m.series) s = BinnedSeries(BinGrid::minutes(15), kMicrosPerWeek);
+  m.of(FeatureKind::TcpSyn).set(0, 9.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::TcpSyn).at(0), 9.0);
+  EXPECT_DOUBLE_EQ(m.of(FeatureKind::TcpConnections).at(0), 0.0);
+}
+
+}  // namespace
+}  // namespace monohids::features

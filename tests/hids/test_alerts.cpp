@@ -1,0 +1,88 @@
+#include "hids/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using util::kMicrosPerHour;
+
+Alert alert_at(std::uint32_t user, util::Timestamp t) {
+  Alert a;
+  a.user_id = user;
+  a.bin_start = t;
+  return a;
+}
+
+TEST(AlertBatcher, HoldsAlertsUntilIntervalBoundary) {
+  std::vector<AlertBatch> batches;
+  AlertBatcher batcher(1, kMicrosPerHour, [&](const AlertBatch& b) { batches.push_back(b); });
+  batcher.submit(alert_at(1, 0));
+  batcher.submit(alert_at(1, kMicrosPerHour / 2));
+  EXPECT_TRUE(batches.empty());
+  EXPECT_EQ(batcher.pending(), 2u);
+
+  batcher.submit(alert_at(1, kMicrosPerHour + 1));  // crosses the boundary
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].alerts.size(), 2u);
+  EXPECT_EQ(batches[0].flushed_at, kMicrosPerHour);
+  EXPECT_EQ(batcher.pending(), 1u);
+}
+
+TEST(AlertBatcher, QuietPeriodsProduceNoEmptyBatches) {
+  std::vector<AlertBatch> batches;
+  AlertBatcher batcher(1, kMicrosPerHour, [&](const AlertBatch& b) { batches.push_back(b); });
+  batcher.submit(alert_at(1, 10 * kMicrosPerHour));  // long silence first
+  EXPECT_TRUE(batches.empty());  // nothing pending during the quiet hours
+}
+
+TEST(AlertBatcher, ManualFlushDrainsPending) {
+  std::vector<AlertBatch> batches;
+  AlertBatcher batcher(1, kMicrosPerHour, [&](const AlertBatch& b) { batches.push_back(b); });
+  batcher.submit(alert_at(1, 100));
+  batcher.flush(200);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].flushed_at, 200u);
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.batches_sent(), 1u);
+
+  batcher.flush(300);  // nothing pending: no batch
+  EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(AlertBatcher, RejectsAlertsFromOtherHosts) {
+  AlertBatcher batcher(1, kMicrosPerHour, [](const AlertBatch&) {});
+  EXPECT_THROW(batcher.submit(alert_at(2, 0)), PreconditionError);
+}
+
+TEST(AlertBatcher, InvalidConstructionIsAnError) {
+  EXPECT_THROW(AlertBatcher(1, 0, [](const AlertBatch&) {}), PreconditionError);
+  EXPECT_THROW(AlertBatcher(1, kMicrosPerHour, nullptr), PreconditionError);
+}
+
+TEST(AlertBatcher, BatchCarriesUserId) {
+  std::vector<AlertBatch> batches;
+  AlertBatcher batcher(42, kMicrosPerHour,
+                       [&](const AlertBatch& b) { batches.push_back(b); });
+  batcher.submit(alert_at(42, 0));
+  batcher.flush(1);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].user_id, 42u);
+}
+
+TEST(AlertBatcher, MultipleBoundariesFlushInOrder) {
+  std::vector<AlertBatch> batches;
+  AlertBatcher batcher(1, kMicrosPerHour, [&](const AlertBatch& b) { batches.push_back(b); });
+  batcher.submit(alert_at(1, 0));
+  batcher.submit(alert_at(1, 3 * kMicrosPerHour + 5));
+  batcher.submit(alert_at(1, 5 * kMicrosPerHour + 5));
+  batcher.flush(6 * kMicrosPerHour);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_LT(batches[0].flushed_at, batches[1].flushed_at);
+  EXPECT_LT(batches[1].flushed_at, batches[2].flushed_at);
+}
+
+}  // namespace
+}  // namespace monohids::hids

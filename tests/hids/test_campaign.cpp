@@ -1,0 +1,90 @@
+#include "hids/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+TEST(Campaign, VolumeRampsAndCaps) {
+  const Campaign c{0, 10.0, 5.0, 22.0};
+  EXPECT_DOUBLE_EQ(c.volume_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(c.volume_at(1), 15.0);
+  EXPECT_DOUBLE_EQ(c.volume_at(2), 20.0);
+  EXPECT_DOUBLE_EQ(c.volume_at(3), 22.0);  // capped
+  EXPECT_DOUBLE_EQ(c.volume_at(100), 22.0);
+}
+
+TEST(Campaign, DetectionWhenRampCrossesThreshold) {
+  // silent host, threshold 10, ramp 2 + 3k: bins carry 2, 5, 8, 11 -> the
+  // fourth bin (k=3) alarms; volume before = 2+5+8.
+  const std::vector<double> benign(100, 0.0);
+  const Campaign c{0, 2.0, 3.0, 1e18};
+  const auto outcome = time_to_detection(benign, 10.0, c);
+  ASSERT_TRUE(outcome.detected());
+  EXPECT_EQ(*outcome.bins_to_detection, 3u);
+  EXPECT_DOUBLE_EQ(outcome.volume_before_detection, 15.0);
+}
+
+TEST(Campaign, UserTrafficAcceleratesDetection) {
+  // The same ramp is caught earlier on a busier host: g + b crosses sooner.
+  std::vector<double> busy(100, 6.0);
+  const Campaign c{0, 2.0, 3.0, 1e18};
+  const auto outcome = time_to_detection(busy, 10.0, c);
+  ASSERT_TRUE(outcome.detected());
+  EXPECT_EQ(*outcome.bins_to_detection, 1u);  // 6+5 > 10
+}
+
+TEST(Campaign, CappedRampCanEvadeForever) {
+  // Peak below the threshold headroom: never detected.
+  const std::vector<double> benign(50, 0.0);
+  const Campaign c{0, 1.0, 1.0, 5.0};
+  const auto outcome = time_to_detection(benign, 10.0, c);
+  EXPECT_FALSE(outcome.detected());
+  // 1+2+3+4 + 46*5 = 240
+  EXPECT_DOUBLE_EQ(outcome.volume_before_detection, 240.0);
+}
+
+TEST(Campaign, StartBinOffsetsTheRamp) {
+  std::vector<double> benign(20, 0.0);
+  benign[3] = 100.0;  // a benign burst BEFORE the campaign must not count
+  const Campaign c{10, 50.0, 0.0, 1e18};
+  const auto outcome = time_to_detection(benign, 40.0, c);
+  ASSERT_TRUE(outcome.detected());
+  EXPECT_EQ(*outcome.bins_to_detection, 0u);
+}
+
+TEST(Campaign, InvalidInputsAreErrors) {
+  const std::vector<double> benign(10, 0.0);
+  EXPECT_THROW((void)time_to_detection(benign, 1.0, Campaign{10, 1.0, 1.0, 1e18}),
+               PreconditionError);
+  EXPECT_THROW((void)time_to_detection(benign, 1.0, Campaign{0, -1.0, 1.0, 1e18}),
+               PreconditionError);
+  EXPECT_THROW((void)time_to_detection(benign, 1.0, Campaign{0, 5.0, 1.0, 2.0}),
+               PreconditionError);
+}
+
+TEST(Campaign, PopulationOutcomes) {
+  const std::vector<std::vector<double>> users{std::vector<double>(50, 0.0),
+                                               std::vector<double>(50, 90.0)};
+  const std::vector<double> thresholds{100.0, 100.0};
+  const Campaign c{0, 5.0, 5.0, 1e18};
+  const auto outcomes = campaign_outcomes(users, thresholds, c);
+  ASSERT_EQ(outcomes.size(), 2u);
+  // Light host: volume(k) = 5+5k must strictly exceed 100 -> k = 20.
+  // Busy host: 90 + volume(k) > 100 needs volume > 10 -> k = 2.
+  EXPECT_EQ(*outcomes[0].bins_to_detection, 20u);
+  EXPECT_EQ(*outcomes[1].bins_to_detection, 2u);
+  // The light host let far more total volume through first.
+  EXPECT_GT(outcomes[0].volume_before_detection, outcomes[1].volume_before_detection);
+}
+
+TEST(Campaign, MismatchedPopulationIsAnError) {
+  const std::vector<std::vector<double>> users{std::vector<double>(10, 0.0)};
+  const std::vector<double> thresholds{1.0, 2.0};
+  EXPECT_THROW((void)campaign_outcomes(users, thresholds, Campaign{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,133 @@
+#include "hids/collaborative.hpp"
+
+#include "hids/attacker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using stats::EmpiricalDistribution;
+
+TEST(Overlap, CountsIntersection) {
+  const std::vector<std::uint32_t> a{1, 2, 3, 4};
+  const std::vector<std::uint32_t> b{3, 4, 5, 6};
+  EXPECT_EQ(overlap_count(a, b), 2u);
+  EXPECT_EQ(overlap_count(a, a), 4u);
+  EXPECT_EQ(overlap_count(a, {}), 0u);
+}
+
+std::vector<EmpiricalDistribution> uniform_users(std::vector<double> maxima) {
+  util::Xoshiro256 rng(91);
+  std::vector<EmpiricalDistribution> users;
+  for (double hi : maxima) {
+    std::vector<double> v;
+    for (int i = 0; i < 2000; ++i) v.push_back(rng.uniform01() * hi);
+    users.emplace_back(std::move(v));
+  }
+  return users;
+}
+
+TEST(Collaborative, QuorumOfOneMatchesBestSentinel) {
+  auto users = uniform_users({10, 100, 1000, 10000});
+  std::vector<double> thresholds;
+  for (const auto& u : users) thresholds.push_back(u.quantile(0.99));
+  CollaborativeConfig config;
+  config.sentinel_count = 1;
+  config.quorum = 1;
+  const double size = 50.0;
+  // The single sentinel is the lowest-threshold user (index 0).
+  const double expected = naive_detection_probability(users[0], thresholds[0], size);
+  EXPECT_NEAR(collaborative_detection_probability(users, thresholds, config, size),
+              expected, 1e-12);
+}
+
+TEST(Collaborative, MatchesBruteForcePoissonBinomial) {
+  // 3 sentinels with known per-sentinel probabilities; quorum 2.
+  auto users = uniform_users({10, 20, 40});
+  std::vector<double> thresholds;
+  std::vector<double> p;
+  for (const auto& u : users) {
+    thresholds.push_back(u.quantile(0.99));
+    p.push_back(naive_detection_probability(u, u.quantile(0.99), 15.0));
+  }
+  const double brute = p[0] * p[1] * (1 - p[2]) + p[0] * p[2] * (1 - p[1]) +
+                       p[1] * p[2] * (1 - p[0]) + p[0] * p[1] * p[2];
+  CollaborativeConfig config;
+  config.sentinel_count = 3;
+  config.quorum = 2;
+  EXPECT_NEAR(collaborative_detection_probability(users, thresholds, config, 15.0), brute,
+              1e-12);
+}
+
+TEST(Collaborative, SentinelsBeatSoloDetectionForStealthyAttacks) {
+  // Population dominated by heavy users; sentinels are the light minority.
+  std::vector<double> maxima{5, 8, 12};
+  for (int i = 0; i < 30; ++i) maxima.push_back(5000.0);
+  auto users = uniform_users(std::move(maxima));
+  std::vector<double> thresholds;
+  for (const auto& u : users) thresholds.push_back(u.quantile(0.99));
+
+  CollaborativeConfig config;
+  config.sentinel_count = 3;
+  config.quorum = 2;
+  const std::vector<double> sizes{30.0, 100.0};
+  const auto curve = collaborative_curve(users, thresholds, config, sizes);
+  ASSERT_EQ(curve.collaborative.size(), 2u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_GT(curve.collaborative[i], curve.solo[i] * 3.0);
+    EXPECT_GT(curve.collaborative[i], 0.95);
+  }
+}
+
+TEST(Collaborative, HigherQuorumIsStricter) {
+  auto users = uniform_users({10, 20, 30, 40, 50});
+  std::vector<double> thresholds;
+  for (const auto& u : users) thresholds.push_back(u.quantile(0.99));
+  const double size = 25.0;
+  double prev = 1.1;
+  for (std::uint32_t quorum : {1u, 2u, 3u, 4u}) {
+    CollaborativeConfig config;
+    config.sentinel_count = 4;
+    config.quorum = quorum;
+    const double d = collaborative_detection_probability(users, thresholds, config, size);
+    EXPECT_LE(d, prev + 1e-12);
+    prev = d;
+  }
+}
+
+TEST(Collaborative, InvalidConfigsAreErrors) {
+  auto users = uniform_users({10, 20});
+  std::vector<double> thresholds{1.0, 2.0};
+  CollaborativeConfig config;
+  config.sentinel_count = 1;
+  config.quorum = 2;  // quorum larger than pool
+  EXPECT_THROW(
+      (void)collaborative_detection_probability(users, thresholds, config, 1.0),
+      PreconditionError);
+  config.quorum = 0;
+  EXPECT_THROW(
+      (void)collaborative_detection_probability(users, thresholds, config, 1.0),
+      PreconditionError);
+}
+
+TEST(Collaborative, CurveEchoesSizes) {
+  auto users = uniform_users({10, 100});
+  std::vector<double> thresholds;
+  for (const auto& u : users) thresholds.push_back(u.quantile(0.99));
+  CollaborativeConfig config;
+  config.sentinel_count = 2;
+  config.quorum = 1;
+  const std::vector<double> sizes{1, 5, 25};
+  const auto curve = collaborative_curve(users, thresholds, config, sizes);
+  EXPECT_EQ(curve.sizes, sizes);
+  EXPECT_EQ(curve.solo.size(), 3u);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,98 @@
+#include "hids/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using features::BinnedSeries;
+using util::BinGrid;
+using util::kMicrosPerDay;
+using util::kMicrosPerHour;
+using util::kMicrosPerWeek;
+
+TEST(DaySlot, WorkHoursAreWeekdayDaytime) {
+  // Monday 10:00
+  EXPECT_EQ(slot_of(10 * kMicrosPerHour), DaySlot::WorkHours);
+  // Monday 03:00
+  EXPECT_EQ(slot_of(3 * kMicrosPerHour), DaySlot::OffHours);
+  // Monday 19:00 (boundary: off)
+  EXPECT_EQ(slot_of(19 * kMicrosPerHour), DaySlot::OffHours);
+  // Monday 08:00 (boundary: work)
+  EXPECT_EQ(slot_of(8 * kMicrosPerHour), DaySlot::WorkHours);
+  // Saturday noon
+  EXPECT_EQ(slot_of(5 * kMicrosPerDay + 12 * kMicrosPerHour), DaySlot::OffHours);
+}
+
+/// A week with 100s during work hours and 2s off-hours.
+BinnedSeries day_night_series() {
+  BinnedSeries s(BinGrid::minutes(15), kMicrosPerWeek);
+  for (std::size_t b = 0; b < s.bin_count(); ++b) {
+    const auto t = s.grid().bin_start(b);
+    s.set(b, slot_of(t) == DaySlot::WorkHours ? 100.0 : 2.0);
+  }
+  return s;
+}
+
+TEST(ConditionalDetector, LearnsPerSlotThresholds) {
+  const auto detector = ConditionalDetector::learn(day_night_series(), 0.99);
+  EXPECT_DOUBLE_EQ(detector.threshold(DaySlot::WorkHours), 100.0);
+  EXPECT_DOUBLE_EQ(detector.threshold(DaySlot::OffHours), 2.0);
+}
+
+TEST(ConditionalDetector, NightAttacksFaceTheNightBar) {
+  const auto series = day_night_series();
+  const auto detector = ConditionalDetector::learn(series, 0.99);
+  // A size-50 attack at night: 2 + 50 > 2 -> always detected conditionally.
+  EXPECT_DOUBLE_EQ(
+      detector.detection_rate(series, 0, series.bin_count(), DaySlot::OffHours, 50.0),
+      1.0);
+  // The same attack against a single all-hours 99th-pct threshold (=100)
+  // would hide completely: 2 + 50 < 100.
+  {
+    std::size_t detected = 0, attacked = 0;
+    for (std::size_t b = 0; b < series.bin_count(); ++b) {
+      if (slot_of(series.grid().bin_start(b)) != DaySlot::OffHours) continue;
+      ++attacked;
+      if (series.at(b) + 50.0 > 100.0) ++detected;
+    }
+    EXPECT_EQ(detected, 0u);
+    EXPECT_GT(attacked, 0u);
+  }
+}
+
+TEST(ConditionalDetector, BenignTrafficDoesNotAlarm) {
+  const auto series = day_night_series();
+  const auto detector = ConditionalDetector::learn(series, 0.99);
+  EXPECT_DOUBLE_EQ(detector.alarm_rate(series, 0, series.bin_count()), 0.0);
+}
+
+TEST(ConditionalDetector, AlarmRateCountsSlotAwareExceedances) {
+  auto series = day_night_series();
+  const auto detector = ConditionalDetector::learn(series, 0.99);
+  // Inject one night burst and one day burst above their slot bars.
+  series.set(8, 10.0);    // Monday 02:00: above the 2.0 night bar
+  series.set(40, 150.0);  // Monday 10:00: above the 100.0 day bar
+  const double rate = detector.alarm_rate(series, 0, series.bin_count());
+  EXPECT_NEAR(rate, 2.0 / static_cast<double>(series.bin_count()), 1e-12);
+}
+
+TEST(ConditionalDetector, ExplicitThresholds) {
+  const ConditionalDetector detector(100.0, 5.0);
+  EXPECT_TRUE(detector.alarms(3 * kMicrosPerHour, 6.0));    // night, above 5
+  EXPECT_FALSE(detector.alarms(10 * kMicrosPerHour, 6.0));  // day, below 100
+}
+
+TEST(ConditionalDetector, InvalidRangesAreErrors) {
+  const auto series = day_night_series();
+  const auto detector = ConditionalDetector::learn(series, 0.99);
+  EXPECT_THROW((void)detector.alarm_rate(series, 10, 10), PreconditionError);
+  EXPECT_THROW((void)detector.alarm_rate(series, 0, series.bin_count() + 1),
+               PreconditionError);
+  EXPECT_THROW((void)ConditionalDetector::learn(series, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,88 @@
+#include "hids/console.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using features::FeatureKind;
+using util::kMicrosPerWeek;
+
+AlertBatch batch_of(std::uint32_t user, std::initializer_list<util::Timestamp> times,
+                    FeatureKind feature = FeatureKind::TcpConnections) {
+  AlertBatch b;
+  b.user_id = user;
+  for (util::Timestamp t : times) {
+    Alert a;
+    a.user_id = user;
+    a.bin_start = t;
+    a.feature = feature;
+    b.alerts.push_back(a);
+  }
+  return b;
+}
+
+TEST(Console, AccountsPerUserWeekAndFeature) {
+  CentralConsole console(10, 2);
+  console.ingest(batch_of(3, {0, 100, kMicrosPerWeek + 5}));
+  console.ingest(batch_of(4, {50}, FeatureKind::UdpConnections));
+
+  EXPECT_EQ(console.total_alerts(), 4u);
+  EXPECT_EQ(console.total_batches(), 2u);
+  EXPECT_EQ(console.alerts_of_user(3), 3u);
+  EXPECT_EQ(console.alerts_of_user(4), 1u);
+  EXPECT_EQ(console.alerts_of_user(0), 0u);
+  EXPECT_EQ(console.alerts_in_week(0), 3u);
+  EXPECT_EQ(console.alerts_in_week(1), 1u);
+  EXPECT_EQ(console.alerts_of_feature(FeatureKind::TcpConnections), 3u);
+  EXPECT_EQ(console.alerts_of_feature(FeatureKind::UdpConnections), 1u);
+}
+
+TEST(Console, MeanAlertsPerWeek) {
+  CentralConsole console(5, 4);
+  console.ingest(batch_of(0, {0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(console.mean_alerts_per_week(), 1.0);
+}
+
+TEST(Console, NoisiestUsersSortedDescending) {
+  CentralConsole console(5, 1);
+  console.ingest(batch_of(2, {0}));
+  console.ingest(batch_of(1, {0, 1, 2}));
+  console.ingest(batch_of(4, {0, 1}));
+  const auto noisy = console.noisiest_users(2);
+  ASSERT_EQ(noisy.size(), 2u);
+  EXPECT_EQ(noisy[0].first, 1u);
+  EXPECT_EQ(noisy[0].second, 3u);
+  EXPECT_EQ(noisy[1].first, 4u);
+}
+
+TEST(Console, RejectsUnknownUsers) {
+  CentralConsole console(3, 1);
+  EXPECT_THROW(console.ingest(batch_of(3, {0})), PreconditionError);
+  EXPECT_THROW((void)console.alerts_of_user(3), PreconditionError);
+  EXPECT_THROW((void)console.alerts_in_week(1), PreconditionError);
+}
+
+TEST(Console, RejectsMixedUserBatches) {
+  CentralConsole console(5, 1);
+  AlertBatch mixed = batch_of(1, {0});
+  mixed.alerts.push_back(Alert{2, FeatureKind::TcpConnections, 0, 0, 0.0, 0.0});
+  EXPECT_THROW(console.ingest(mixed), PreconditionError);
+}
+
+TEST(Console, AlertsPastHorizonCountInTotalsOnly) {
+  CentralConsole console(2, 1);
+  console.ingest(batch_of(0, {3 * kMicrosPerWeek}));
+  EXPECT_EQ(console.total_alerts(), 1u);
+  EXPECT_EQ(console.alerts_in_week(0), 0u);
+}
+
+TEST(Console, InvalidConstructionIsAnError) {
+  EXPECT_THROW(CentralConsole(0, 1), PreconditionError);
+  EXPECT_THROW(CentralConsole(1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,99 @@
+#include "hids/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::hids {
+namespace {
+
+using features::BinnedSeries;
+using features::FeatureKind;
+using features::FeatureMatrix;
+using util::BinGrid;
+using util::kMicrosPerWeek;
+
+TEST(ThresholdDetector, AlarmsStrictlyAboveThreshold) {
+  const ThresholdDetector d(10.0);
+  EXPECT_FALSE(d.alarms(9.9));
+  EXPECT_FALSE(d.alarms(10.0));  // g + b > T is strict
+  EXPECT_TRUE(d.alarms(10.1));
+}
+
+TEST(ThresholdDetector, CountsAlarmsOverSeries) {
+  const ThresholdDetector d(5.0);
+  const std::vector<double> bins{1, 6, 5, 7, 0, 100};
+  EXPECT_EQ(d.count_alarms(bins), 3u);
+  EXPECT_DOUBLE_EQ(d.alarm_rate(bins), 0.5);
+}
+
+TEST(ThresholdDetector, EmptySliceHasZeroRate) {
+  const ThresholdDetector d(5.0);
+  EXPECT_DOUBLE_EQ(d.alarm_rate({}), 0.0);
+}
+
+TEST(ThresholdDetector, ThresholdIsMutable) {
+  ThresholdDetector d(5.0);
+  d.set_threshold(50.0);
+  EXPECT_DOUBLE_EQ(d.threshold(), 50.0);
+  EXPECT_FALSE(d.alarms(10.0));
+}
+
+FeatureMatrix one_week_matrix() {
+  FeatureMatrix m;
+  for (auto& s : m.series) s = BinnedSeries(BinGrid::minutes(15), kMicrosPerWeek);
+  return m;
+}
+
+TEST(HostHids, ScanEmitsAlertsForAlarmingBins) {
+  HostHids hids(7);
+  hids.configure(FeatureKind::TcpConnections, 10.0);
+  hids.configure(FeatureKind::UdpConnections, 1e18);  // never alarms
+
+  FeatureMatrix observed = one_week_matrix();
+  observed.of(FeatureKind::TcpConnections).set(3, 50.0);
+  observed.of(FeatureKind::TcpConnections).set(5, 11.0);
+  observed.of(FeatureKind::UdpConnections).set(3, 1000.0);
+
+  std::vector<Alert> alerts;
+  const auto emitted = hids.scan(observed, [&](const Alert& a) { alerts.push_back(a); });
+  EXPECT_EQ(emitted, 2u);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].user_id, 7u);
+  EXPECT_EQ(alerts[0].feature, FeatureKind::TcpConnections);
+  EXPECT_EQ(alerts[0].bin, 3u);
+  EXPECT_DOUBLE_EQ(alerts[0].observed, 50.0);
+  EXPECT_DOUBLE_EQ(alerts[0].threshold, 10.0);
+  EXPECT_EQ(alerts[1].bin, 5u);
+}
+
+TEST(HostHids, AlertsLeaveInTimeOrder) {
+  HostHids hids(1);
+  hids.configure(FeatureKind::TcpConnections, 0.5);
+  hids.configure(FeatureKind::UdpConnections, 0.5);
+  FeatureMatrix observed = one_week_matrix();
+  observed.of(FeatureKind::UdpConnections).set(2, 1.0);
+  observed.of(FeatureKind::TcpConnections).set(1, 1.0);
+  observed.of(FeatureKind::TcpConnections).set(4, 1.0);
+
+  std::vector<util::Timestamp> times;
+  hids.scan(observed, [&](const Alert& a) { times.push_back(a.bin_start); });
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(HostHids, DefaultThresholdZeroAlarmsOnAnyTraffic) {
+  HostHids hids(0);
+  FeatureMatrix observed = one_week_matrix();
+  observed.of(FeatureKind::DnsConnections).set(0, 0.5);
+  std::size_t count = 0;
+  hids.scan(observed, [&](const Alert&) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(HostHids, DetectorAccessor) {
+  HostHids hids(0);
+  hids.configure(FeatureKind::TcpSyn, 123.0);
+  EXPECT_DOUBLE_EQ(hids.detector(FeatureKind::TcpSyn).threshold(), 123.0);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,174 @@
+#include "hids/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "trace/population.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using features::FeatureKind;
+using stats::EmpiricalDistribution;
+
+std::vector<EmpiricalDistribution> population_at(std::vector<double> levels) {
+  std::vector<EmpiricalDistribution> users;
+  for (double level : levels) users.emplace_back(std::vector<double>(100, level));
+  return users;
+}
+
+TEST(Evaluator, PerUserOperatingPoints) {
+  // Users at constant levels 10 and 1000, thresholds from full diversity:
+  // zero FP in a stationary test week; FN depends on attack sweep vs level.
+  const auto train = population_at({10, 1000});
+  const auto test = population_at({10, 1000});
+  AttackModel attack;
+  attack.sizes = {5.0, 2000.0};
+  const PercentileHeuristic p99(0.99);
+  const auto outcome = evaluate_policy(train, test, FullDiversityGrouper{}, p99, attack);
+
+  ASSERT_EQ(outcome.users.size(), 2u);
+  EXPECT_EQ(outcome.policy_name, "full-diversity");
+  // constant traffic == threshold, alarms require strictly-above
+  EXPECT_DOUBLE_EQ(outcome.users[0].fp_rate, 0.0);
+  // user 0 (T=10): size-5 attack hides (10+5<=... wait 15 > 10) — detected;
+  // both sizes exceed the threshold, so FN = 0.
+  EXPECT_DOUBLE_EQ(outcome.users[0].fn_rate, 0.0);
+  // user 1 (T=1000): size-5 hides (1005 <= 1000 is false)... also detected.
+  // Constant-level users detect any additive attack; use the utility check.
+  EXPECT_DOUBLE_EQ(outcome.users[1].utility(0.4), 1.0);
+}
+
+TEST(Evaluator, HomogeneousThresholdBlindsLightUsers) {
+  const auto train = population_at({10, 10000});
+  const auto test = population_at({10, 10000});
+  AttackModel attack;
+  attack.sizes = {100.0};  // stealthy vs the pooled threshold
+  const PercentileHeuristic p99(0.99);
+
+  const auto homog = evaluate_policy(train, test, HomogeneousGrouper{}, p99, attack);
+  const auto full = evaluate_policy(train, test, FullDiversityGrouper{}, p99, attack);
+
+  // Pooled threshold = 10000: the light user misses the attack entirely.
+  EXPECT_DOUBLE_EQ(homog.users[0].fn_rate, 1.0);
+  EXPECT_DOUBLE_EQ(homog.users[0].detection_rate(), 0.0);
+  // With a personal threshold the same user catches it always.
+  EXPECT_DOUBLE_EQ(full.users[0].fn_rate, 0.0);
+}
+
+TEST(Evaluator, WeeklyAlarmsScaleWithFpRate) {
+  // Train at level 10; test week runs hotter, so every bin alarms.
+  const auto train = population_at({10});
+  const auto test = population_at({20});
+  AttackModel attack;
+  attack.sizes = {1.0};
+  const PercentileHeuristic p99(0.99);
+  const auto outcome = evaluate_policy(train, test, FullDiversityGrouper{}, p99, attack);
+  EXPECT_DOUBLE_EQ(outcome.users[0].fp_rate, 1.0);
+  EXPECT_EQ(outcome.users[0].weekly_false_alarms, 100u);
+  EXPECT_EQ(outcome.total_false_alarms(), 100u);
+}
+
+TEST(Evaluator, UtilitiesAggregateAcrossUsers) {
+  const auto train = population_at({10, 20, 30});
+  const auto test = train;
+  AttackModel attack;
+  attack.sizes = {100.0};
+  const PercentileHeuristic p99(0.99);
+  const auto outcome = evaluate_policy(train, test, FullDiversityGrouper{}, p99, attack);
+  const auto utilities = outcome.utilities(0.4);
+  ASSERT_EQ(utilities.size(), 3u);
+  double mean = 0;
+  for (double u : utilities) mean += u;
+  EXPECT_NEAR(outcome.mean_utility(0.4), mean / 3.0, 1e-12);
+}
+
+TEST(Evaluator, MismatchedPopulationsAreAnError) {
+  const auto train = population_at({10});
+  const auto test = population_at({10, 20});
+  AttackModel attack;
+  attack.sizes = {1.0};
+  const PercentileHeuristic p99(0.99);
+  EXPECT_THROW((void)evaluate_policy(train, test, FullDiversityGrouper{}, p99, attack),
+               PreconditionError);
+}
+
+TEST(Evaluator, WeekDistributionsSliceTheMatrices) {
+  trace::PopulationConfig pop;
+  pop.user_count = 4;
+  pop.weeks = 2;
+  trace::GeneratorConfig gen_config;
+  gen_config.weeks = 2;
+  const trace::TraceGenerator gen(gen_config);
+  std::vector<features::FeatureMatrix> matrices;
+  for (const auto& u : trace::generate_population(pop)) {
+    matrices.push_back(gen.generate_features(u));
+  }
+  const auto week0 = week_distributions(matrices, FeatureKind::TcpConnections, 0);
+  const auto week1 = week_distributions(matrices, FeatureKind::TcpConnections, 1);
+  ASSERT_EQ(week0.size(), 4u);
+  EXPECT_EQ(week0[0].size(), 672u);
+  EXPECT_EQ(week1[0].size(), 672u);
+  EXPECT_THROW((void)week_distributions(matrices, FeatureKind::TcpConnections, 2),
+               PreconditionError);
+}
+
+TEST(Evaluator, RoundsAverageOutcomes) {
+  trace::PopulationConfig pop;
+  pop.user_count = 6;
+  pop.weeks = 4;
+  trace::GeneratorConfig gen_config;
+  gen_config.weeks = 4;
+  const trace::TraceGenerator gen(gen_config);
+  std::vector<features::FeatureMatrix> matrices;
+  for (const auto& u : trace::generate_population(pop)) {
+    matrices.push_back(gen.generate_features(u));
+  }
+  const auto attack = linear_attack_sweep(100.0, 8);
+  const PercentileHeuristic p99(0.99);
+  const std::vector<EvaluationRound> rounds{{0, 1}, {2, 3}};
+  const auto merged = evaluate_rounds(matrices, FeatureKind::TcpConnections, rounds,
+                                      FullDiversityGrouper{}, p99, attack);
+  ASSERT_EQ(merged.users.size(), 6u);
+  for (const auto& u : merged.users) {
+    EXPECT_GE(u.fp_rate, 0.0);
+    EXPECT_LE(u.fp_rate, 1.0);
+    EXPECT_GE(u.fn_rate, 0.0);
+    EXPECT_LE(u.fn_rate, 1.0);
+  }
+}
+
+TEST(Evaluator, NoRoundsIsAnError) {
+  std::vector<features::FeatureMatrix> matrices;
+  const auto attack = linear_attack_sweep(10.0, 2);
+  const PercentileHeuristic p99(0.99);
+  EXPECT_THROW((void)evaluate_rounds(matrices, FeatureKind::TcpConnections, {},
+                                     FullDiversityGrouper{}, p99, attack),
+               PreconditionError);
+}
+
+TEST(Replay, CountsDetectionOnlyOnAttackedBins) {
+  const std::vector<double> benign{0, 0, 10, 0};
+  const std::vector<double> attack{0, 5, 5, 100};
+  // threshold 8: bin1 0+5<=8 missed; bin2 10+5>8 detected; bin3 0+100>8
+  // detected -> detection 2/3. FP: benign>8 only at bin2 -> 1/4.
+  const auto outcome = evaluate_replay(benign, attack, 8.0);
+  EXPECT_DOUBLE_EQ(outcome.detection_rate, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(outcome.fp_rate, 0.25);
+}
+
+TEST(Replay, NoAttackedBinsGivesZeroDetection) {
+  const std::vector<double> benign{1, 2, 3};
+  const std::vector<double> attack{0, 0, 0};
+  EXPECT_DOUBLE_EQ(evaluate_replay(benign, attack, 10.0).detection_rate, 0.0);
+}
+
+TEST(Replay, MismatchedShapesAreAnError) {
+  const std::vector<double> benign{1, 2};
+  const std::vector<double> attack{1};
+  EXPECT_THROW((void)evaluate_replay(benign, attack, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

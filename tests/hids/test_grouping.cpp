@@ -1,0 +1,167 @@
+#include "hids/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using stats::EmpiricalDistribution;
+
+/// Population whose p99 values are exactly `levels` (constant traffic).
+std::vector<EmpiricalDistribution> population_at(std::vector<double> levels) {
+  std::vector<EmpiricalDistribution> users;
+  for (double level : levels) {
+    users.emplace_back(std::vector<double>(100, level));
+  }
+  return users;
+}
+
+std::vector<EmpiricalDistribution> spread_population(std::size_t n = 100) {
+  std::vector<double> levels;
+  for (std::size_t i = 1; i <= n; ++i) levels.push_back(static_cast<double>(i * i));
+  return population_at(std::move(levels));
+}
+
+void check_partition(const GroupAssignment& a, std::size_t users) {
+  ASSERT_EQ(a.group_of_user.size(), users);
+  const auto members = a.members();
+  ASSERT_EQ(members.size(), a.group_count);
+  std::size_t total = 0;
+  for (const auto& m : members) {
+    EXPECT_FALSE(m.empty());  // no empty groups
+    total += m.size();
+  }
+  EXPECT_EQ(total, users);
+}
+
+TEST(Homogeneous, OneGroupForEveryone) {
+  const auto users = spread_population(50);
+  const auto a = HomogeneousGrouper{}.assign(users);
+  EXPECT_EQ(a.group_count, 1u);
+  check_partition(a, 50);
+}
+
+TEST(FullDiversity, OneGroupPerUser) {
+  const auto users = spread_population(50);
+  const auto a = FullDiversityGrouper{}.assign(users);
+  EXPECT_EQ(a.group_count, 50u);
+  check_partition(a, 50);
+  std::set<std::uint32_t> groups(a.group_of_user.begin(), a.group_of_user.end());
+  EXPECT_EQ(groups.size(), 50u);
+}
+
+TEST(KneePartial, DefaultIsEightGroups) {
+  const auto users = spread_population(200);
+  const KneePartialGrouper grouper;
+  EXPECT_EQ(grouper.name(), "8-partial");
+  const auto a = grouper.assign(users);
+  EXPECT_EQ(a.group_count, 8u);
+  check_partition(a, 200);
+}
+
+TEST(KneePartial, TopFractionIsolatedFromBottom) {
+  const auto users = spread_population(100);
+  const auto a = KneePartialGrouper(0.15, 4, 4).assign(users);
+  // Users are built in ascending p99 order; the top 15 users must not share
+  // a group with any of the bottom 85.
+  std::set<std::uint32_t> bottom_groups, top_groups;
+  for (std::size_t u = 0; u < 85; ++u) bottom_groups.insert(a.group_of_user[u]);
+  for (std::size_t u = 85; u < 100; ++u) top_groups.insert(a.group_of_user[u]);
+  for (std::uint32_t g : top_groups) EXPECT_FALSE(bottom_groups.contains(g));
+  EXPECT_EQ(bottom_groups.size(), 4u);
+  EXPECT_EQ(top_groups.size(), 4u);
+}
+
+TEST(KneePartial, GroupsAreContiguousInThresholdOrder) {
+  const auto users = spread_population(80);
+  const auto a = KneePartialGrouper().assign(users);
+  // Ascending users: group ids must be non-decreasing.
+  for (std::size_t u = 1; u < 80; ++u) {
+    EXPECT_GE(a.group_of_user[u], a.group_of_user[u - 1]);
+  }
+}
+
+TEST(KneePartial, TinyPopulationStillPartitions) {
+  const auto users = spread_population(5);
+  const auto a = KneePartialGrouper().assign(users);
+  check_partition(a, 5);
+  EXPECT_LE(a.group_count, 5u);
+}
+
+TEST(KneePartial, InvalidParametersAreErrors) {
+  EXPECT_THROW(KneePartialGrouper(0.0, 4, 4), PreconditionError);
+  EXPECT_THROW(KneePartialGrouper(1.0, 4, 4), PreconditionError);
+  EXPECT_THROW(KneePartialGrouper(0.15, 0, 4), PreconditionError);
+  EXPECT_THROW(KneePartialGrouper(0.15, 4, 4, 1.5), PreconditionError);
+}
+
+TEST(KMeansGrouper, ProducesKGroups) {
+  const auto users = spread_population(60);
+  const KMeansGrouper grouper(5);
+  EXPECT_EQ(grouper.name(), "kmeans-5");
+  const auto a = grouper.assign(users);
+  EXPECT_EQ(a.group_count, 5u);
+  check_partition(a, 60);
+}
+
+TEST(KMeansGrouper, SeparatedLevelsClusterTogether) {
+  // Two well-separated bands must map to internally-consistent clusters.
+  std::vector<double> levels;
+  for (int i = 0; i < 20; ++i) levels.push_back(10.0 + i * 0.01);
+  for (int i = 0; i < 20; ++i) levels.push_back(100000.0 + i);
+  const auto users = population_at(std::move(levels));
+  const auto a = KMeansGrouper(2).assign(users);
+  std::set<std::uint32_t> low, high;
+  for (int u = 0; u < 20; ++u) low.insert(a.group_of_user[u]);
+  for (int u = 20; u < 40; ++u) high.insert(a.group_of_user[u]);
+  EXPECT_EQ(low.size(), 1u);
+  EXPECT_EQ(high.size(), 1u);
+  EXPECT_NE(*low.begin(), *high.begin());
+}
+
+TEST(KMeansGrouper, FewerUsersThanClustersIsAnError) {
+  const auto users = spread_population(3);
+  EXPECT_THROW((void)KMeansGrouper(5).assign(users), PreconditionError);
+}
+
+TEST(EqualFrequency, BalancedGroupSizes) {
+  const auto users = spread_population(80);
+  const auto a = EqualFrequencyGrouper(8).assign(users);
+  EXPECT_EQ(a.group_count, 8u);
+  for (const auto& m : a.members()) EXPECT_EQ(m.size(), 10u);
+}
+
+TEST(EqualFrequency, UnevenPopulationStaysBalancedWithinOne) {
+  const auto users = spread_population(83);
+  const auto a = EqualFrequencyGrouper(8).assign(users);
+  for (const auto& m : a.members()) {
+    EXPECT_GE(m.size(), 10u);
+    EXPECT_LE(m.size(), 11u);
+  }
+}
+
+TEST(Groupers, EmptyPopulationIsAnError) {
+  const std::vector<EmpiricalDistribution> empty;
+  EXPECT_THROW((void)HomogeneousGrouper{}.assign(empty), PreconditionError);
+  EXPECT_THROW((void)FullDiversityGrouper{}.assign(empty), PreconditionError);
+  EXPECT_THROW((void)KneePartialGrouper{}.assign(empty), PreconditionError);
+}
+
+TEST(Groupers, TiedThresholdsStillPartition) {
+  const auto users = population_at(std::vector<double>(30, 5.0));
+  const KneePartialGrouper knee;
+  const EqualFrequencyGrouper equal(4);
+  for (const Grouper* g : {static_cast<const Grouper*>(&knee),
+                           static_cast<const Grouper*>(&equal)}) {
+    check_partition(g->assign(users), 30);
+  }
+}
+
+}  // namespace
+}  // namespace monohids::hids

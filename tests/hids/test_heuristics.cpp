@@ -1,0 +1,125 @@
+#include "hids/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/classification.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using stats::EmpiricalDistribution;
+
+EmpiricalDistribution uniform_0_100(int n = 10000) {
+  util::Xoshiro256 rng(71);
+  std::vector<double> v;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(rng.uniform01() * 100.0);
+  return EmpiricalDistribution(std::move(v));
+}
+
+TEST(Percentile, ThresholdCapsTrainingFalsePositives) {
+  const auto g = uniform_0_100();
+  const PercentileHeuristic h(0.99);
+  const double t = h.compute(g, nullptr);
+  EXPECT_LE(g.exceedance(t), 0.01 + 1e-12);
+  EXPECT_NEAR(t, 99.0, 1.0);
+}
+
+TEST(Percentile, NameAndAccessors) {
+  const PercentileHeuristic h(0.999);
+  EXPECT_EQ(h.name(), "percentile-99.9");
+  EXPECT_DOUBLE_EQ(h.percentile(), 0.999);
+}
+
+TEST(Percentile, InvalidProbabilityIsAnError) {
+  EXPECT_THROW(PercentileHeuristic(0.0), PreconditionError);
+  EXPECT_THROW(PercentileHeuristic(1.0), PreconditionError);
+}
+
+TEST(MeanSigma, MatchesFormula) {
+  const EmpiricalDistribution g({2, 4, 4, 4, 5, 5, 7, 9});  // mean 5, sigma 2
+  const MeanSigmaHeuristic h(3.0);
+  EXPECT_DOUBLE_EQ(h.compute(g, nullptr), 11.0);
+}
+
+TEST(MeanSigma, ZeroSigmaGivesMean) {
+  const EmpiricalDistribution g({1, 2, 3});
+  const MeanSigmaHeuristic h(0.0);
+  EXPECT_DOUBLE_EQ(h.compute(g, nullptr), 2.0);
+}
+
+TEST(FnAwareHeuristics, RequireAttackModel) {
+  const auto g = uniform_0_100(100);
+  EXPECT_THROW((void)FMeasureHeuristic{}.compute(g, nullptr), PreconditionError);
+  EXPECT_THROW((void)UtilityHeuristic{0.4}.compute(g, nullptr), PreconditionError);
+}
+
+TEST(Utility, PickedThresholdMaximizesUtilityOverCandidates) {
+  const auto g = uniform_0_100(2000);
+  const auto attack = linear_attack_sweep(100.0, 20);
+  const UtilityHeuristic h(0.4);
+  const double best_t = h.compute(g, &attack);
+  const double best_u =
+      stats::utility(attack.mean_fn(g, best_t), g.exceedance(best_t), 0.4);
+  for (double t : candidate_thresholds(g)) {
+    const double u = stats::utility(attack.mean_fn(g, t), g.exceedance(t), 0.4);
+    ASSERT_LE(u, best_u + 1e-12);
+  }
+}
+
+TEST(Utility, HighFnWeightPushesThresholdDown) {
+  const auto g = uniform_0_100(2000);
+  const auto attack = linear_attack_sweep(100.0, 20);
+  const double t_fp_focused = UtilityHeuristic(0.1).compute(g, &attack);
+  const double t_fn_focused = UtilityHeuristic(0.9).compute(g, &attack);
+  EXPECT_LT(t_fn_focused, t_fp_focused);
+}
+
+TEST(Utility, InvalidWeightIsAnError) {
+  EXPECT_THROW(UtilityHeuristic(-0.1), PreconditionError);
+  EXPECT_THROW(UtilityHeuristic(1.1), PreconditionError);
+}
+
+TEST(FMeasure, BalancesPrecisionAndRecall) {
+  const auto g = uniform_0_100(2000);
+  const auto attack = linear_attack_sweep(100.0, 20);
+  const FMeasureHeuristic h;
+  const double t = h.compute(g, &attack);
+  // F-measure optimum should be an interior threshold: neither "alarm on
+  // everything" nor "alarm on nothing".
+  EXPECT_GT(t, g.min());
+  EXPECT_LT(t, g.max());
+}
+
+TEST(Candidates, CoverUniqueValuesPlusSentinel) {
+  const EmpiricalDistribution g({1, 1, 2, 3, 3, 3});
+  const auto candidates = candidate_thresholds(g);
+  ASSERT_EQ(candidates.size(), 4u);  // 1, 2, 3, max+1
+  EXPECT_DOUBLE_EQ(candidates[0], 1.0);
+  EXPECT_DOUBLE_EQ(candidates[3], 4.0);
+}
+
+TEST(Candidates, SentinelThresholdNeverAlarms) {
+  const EmpiricalDistribution g({5, 6, 7});
+  const auto candidates = candidate_thresholds(g);
+  EXPECT_DOUBLE_EQ(g.exceedance(candidates.back()), 0.0);
+}
+
+TEST(Heuristics, PolymorphicUseThroughBasePointer) {
+  const auto g = uniform_0_100(500);
+  const auto attack = linear_attack_sweep(100.0, 10);
+  std::vector<std::unique_ptr<ThresholdHeuristic>> heuristics;
+  heuristics.push_back(std::make_unique<PercentileHeuristic>(0.99));
+  heuristics.push_back(std::make_unique<MeanSigmaHeuristic>(3.0));
+  heuristics.push_back(std::make_unique<FMeasureHeuristic>());
+  heuristics.push_back(std::make_unique<UtilityHeuristic>(0.4));
+  for (const auto& h : heuristics) {
+    EXPECT_FALSE(h->name().empty());
+    EXPECT_GE(h->compute(g, &attack), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace monohids::hids

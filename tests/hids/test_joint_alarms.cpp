@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "hids/evaluator.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using features::BinnedSeries;
+using features::FeatureKind;
+using features::FeatureMatrix;
+using util::BinGrid;
+using util::kMicrosPerWeek;
+
+FeatureMatrix one_week_matrix() {
+  FeatureMatrix m;
+  for (auto& s : m.series) s = BinnedSeries(BinGrid::minutes(15), kMicrosPerWeek);
+  return m;
+}
+
+std::array<double, features::kFeatureCount> uniform_thresholds(double t) {
+  std::array<double, features::kFeatureCount> out{};
+  out.fill(t);
+  return out;
+}
+
+TEST(JointAlarms, SingleFeatureFiringMatchesMarginal) {
+  FeatureMatrix m = one_week_matrix();
+  m.of(FeatureKind::TcpConnections).set(3, 100.0);
+  const auto outcome = joint_alarm_rate(m, 0, uniform_thresholds(50.0));
+  EXPECT_DOUBLE_EQ(outcome.joint_fp_rate, 1.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.per_feature[features::index_of(FeatureKind::TcpConnections)],
+                   1.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.sum_of_marginals, 1.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.coincidence_factor(), 1.0);
+}
+
+TEST(JointAlarms, CoFiringFeaturesDeduplicate) {
+  // Two features exceed in the SAME bin: joint counts it once.
+  FeatureMatrix m = one_week_matrix();
+  m.of(FeatureKind::TcpConnections).set(5, 100.0);
+  m.of(FeatureKind::TcpSyn).set(5, 100.0);
+  const auto outcome = joint_alarm_rate(m, 0, uniform_thresholds(50.0));
+  EXPECT_DOUBLE_EQ(outcome.joint_fp_rate, 1.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.sum_of_marginals, 2.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.coincidence_factor(), 2.0);
+}
+
+TEST(JointAlarms, DisjointFeaturesAddUp) {
+  FeatureMatrix m = one_week_matrix();
+  m.of(FeatureKind::TcpConnections).set(1, 100.0);
+  m.of(FeatureKind::UdpConnections).set(2, 100.0);
+  const auto outcome = joint_alarm_rate(m, 0, uniform_thresholds(50.0));
+  EXPECT_DOUBLE_EQ(outcome.joint_fp_rate, 2.0 / 672.0);
+  EXPECT_DOUBLE_EQ(outcome.coincidence_factor(), 1.0);
+}
+
+TEST(JointAlarms, JointBoundedByMarginals) {
+  // Property: max(marginal) <= joint <= sum(marginals).
+  FeatureMatrix m = one_week_matrix();
+  // synthetic correlated traffic: bursts raise several features at once
+  for (std::size_t b = 0; b < 672; b += 7) {
+    m.of(FeatureKind::TcpConnections).set(b, static_cast<double>(b % 90));
+    m.of(FeatureKind::TcpSyn).set(b, static_cast<double>(b % 90) * 1.1);
+    m.of(FeatureKind::DnsConnections).set(b, static_cast<double>(b % 40));
+  }
+  const auto outcome = joint_alarm_rate(m, 0, uniform_thresholds(60.0));
+  double max_marginal = 0;
+  for (double p : outcome.per_feature) max_marginal = std::max(max_marginal, p);
+  EXPECT_GE(outcome.joint_fp_rate, max_marginal);
+  EXPECT_LE(outcome.joint_fp_rate, outcome.sum_of_marginals + 1e-12);
+}
+
+TEST(JointAlarms, WeekSelectionRespected) {
+  FeatureMatrix m;
+  for (auto& s : m.series) s = BinnedSeries(BinGrid::minutes(15), 2 * kMicrosPerWeek);
+  m.of(FeatureKind::TcpConnections).set(672 + 3, 100.0);  // week 1 only
+  const auto week0 = joint_alarm_rate(m, 0, uniform_thresholds(50.0));
+  const auto week1 = joint_alarm_rate(m, 1, uniform_thresholds(50.0));
+  EXPECT_DOUBLE_EQ(week0.joint_fp_rate, 0.0);
+  EXPECT_GT(week1.joint_fp_rate, 0.0);
+}
+
+TEST(JointAlarms, WeekOutsideHorizonIsAnError) {
+  const FeatureMatrix m = one_week_matrix();
+  EXPECT_THROW((void)joint_alarm_rate(m, 1, uniform_thresholds(1.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

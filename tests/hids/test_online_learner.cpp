@@ -1,0 +1,114 @@
+#include "hids/online_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/empirical.hpp"
+#include "stats/sampling.hpp"
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using features::FeatureKind;
+
+TEST(OnlineLearner, NamesAndAccessors) {
+  const OnlineThresholdLearner learner(0.99, EstimatorKind::P2);
+  EXPECT_EQ(name_of(EstimatorKind::Exact), "exact");
+  EXPECT_EQ(name_of(EstimatorKind::P2), "p2");
+  EXPECT_EQ(name_of(EstimatorKind::Gk), "gk");
+  EXPECT_EQ(learner.kind(), EstimatorKind::P2);
+  EXPECT_DOUBLE_EQ(learner.percentile(), 0.99);
+}
+
+TEST(OnlineLearner, InvalidPercentileIsAnError) {
+  EXPECT_THROW(OnlineThresholdLearner(0.0, EstimatorKind::Exact), PreconditionError);
+  EXPECT_THROW(OnlineThresholdLearner(1.0, EstimatorKind::Exact), PreconditionError);
+}
+
+TEST(OnlineLearner, ThresholdBeforeObservationIsAnError) {
+  const OnlineThresholdLearner learner(0.99, EstimatorKind::Exact);
+  EXPECT_THROW((void)learner.threshold(FeatureKind::TcpConnections), PreconditionError);
+}
+
+TEST(OnlineLearner, FeaturesAreIndependentStreams) {
+  OnlineThresholdLearner learner(0.5, EstimatorKind::Exact);
+  for (int i = 1; i <= 100; ++i) {
+    learner.observe(FeatureKind::TcpConnections, i);
+  }
+  learner.observe(FeatureKind::UdpConnections, 7.0);
+  EXPECT_EQ(learner.observations(FeatureKind::TcpConnections), 100u);
+  EXPECT_EQ(learner.observations(FeatureKind::UdpConnections), 1u);
+  EXPECT_DOUBLE_EQ(learner.threshold(FeatureKind::TcpConnections), 50.0);
+  EXPECT_DOUBLE_EQ(learner.threshold(FeatureKind::UdpConnections), 7.0);
+  EXPECT_THROW((void)learner.threshold(FeatureKind::DnsConnections), PreconditionError);
+}
+
+class OnlineLearnerAccuracy : public ::testing::TestWithParam<EstimatorKind> {};
+
+TEST_P(OnlineLearnerAccuracy, MatchesExactQuantileOnHeavyTailedStream) {
+  const EstimatorKind kind = GetParam();
+  util::Xoshiro256 rng(77);
+  const stats::LogNormalSampler sampler(2.5, 1.0);
+
+  OnlineThresholdLearner streaming(0.99, kind, 0.002);
+  OnlineThresholdLearner reference(0.99, EstimatorKind::Exact);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = sampler.sample(rng);
+    streaming.observe(FeatureKind::TcpConnections, v);
+    reference.observe(FeatureKind::TcpConnections, v);
+  }
+  const double exact = reference.threshold(FeatureKind::TcpConnections);
+  const double estimate = streaming.threshold(FeatureKind::TcpConnections);
+  EXPECT_NEAR(estimate, exact, 0.12 * exact) << name_of(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, OnlineLearnerAccuracy,
+                         ::testing::Values(EstimatorKind::Exact, EstimatorKind::P2,
+                                           EstimatorKind::Gk),
+                         [](const ::testing::TestParamInfo<EstimatorKind>& info) {
+                           return std::string(name_of(info.param));
+                         });
+
+TEST(OnlineLearner, StreamingMemoryStaysBounded) {
+  OnlineThresholdLearner exact(0.99, EstimatorKind::Exact);
+  OnlineThresholdLearner p2(0.99, EstimatorKind::P2);
+  OnlineThresholdLearner gk(0.99, EstimatorKind::Gk, 0.01);
+  util::Xoshiro256 rng(78);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.uniform01() * 1000;
+    for (features::FeatureKind f : features::kAllFeatures) {
+      exact.observe(f, v);
+      p2.observe(f, v);
+      gk.observe(f, v);
+    }
+  }
+  // Exact buffers everything; the streaming estimators stay tiny.
+  EXPECT_GT(exact.memory_footprint_bytes(), 6u * 50000u * sizeof(double) / 2);
+  EXPECT_LT(p2.memory_footprint_bytes(), 4096u);
+  EXPECT_LT(gk.memory_footprint_bytes(), 200u * 1024u);
+  EXPECT_LT(gk.memory_footprint_bytes(), exact.memory_footprint_bytes() / 10);
+}
+
+TEST(OnlineLearner, ObserveSeriesMatchesLoop) {
+  const std::vector<double> bins{1, 5, 2, 9, 4, 7};
+  OnlineThresholdLearner a(0.5, EstimatorKind::Exact);
+  OnlineThresholdLearner b(0.5, EstimatorKind::Exact);
+  a.observe_series(FeatureKind::TcpSyn, bins);
+  for (double v : bins) b.observe(FeatureKind::TcpSyn, v);
+  EXPECT_DOUBLE_EQ(a.threshold(FeatureKind::TcpSyn), b.threshold(FeatureKind::TcpSyn));
+}
+
+TEST(OnlineLearner, ExactMatchesOfflinePercentileHeuristic) {
+  // The streaming learner with the exact estimator must agree with the
+  // batch path used by assign_thresholds.
+  util::Xoshiro256 rng(79);
+  std::vector<double> bins;
+  for (int i = 0; i < 672; ++i) bins.push_back(rng.uniform01() * 500);
+  OnlineThresholdLearner learner(0.99, EstimatorKind::Exact);
+  learner.observe_series(FeatureKind::HttpConnections, bins);
+  const stats::EmpiricalDistribution d(bins);
+  EXPECT_DOUBLE_EQ(learner.threshold(FeatureKind::HttpConnections), d.quantile(0.99));
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,119 @@
+#include "hids/summary_shipping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/sampling.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::hids {
+namespace {
+
+std::vector<double> lognormal_samples(int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const stats::LogNormalSampler sampler(2.0, 1.2);
+  std::vector<double> v;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(sampler.sample(rng));
+  return v;
+}
+
+TEST(QuantileSummary, PreservesExtremesAndCount) {
+  const std::vector<double> samples{5, 1, 9, 3, 7};
+  const auto summary = QuantileSummary::from_samples(samples, 5);
+  EXPECT_EQ(summary.sample_count(), 5u);
+  EXPECT_EQ(summary.point_count(), 5u);
+  EXPECT_DOUBLE_EQ(summary.values().front(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.values().back(), 9.0);
+}
+
+TEST(QuantileSummary, GridIsTailDensified) {
+  // Half the grid covers [0, 0.9]; the rest resolves the tail.
+  EXPECT_DOUBLE_EQ(QuantileSummary::grid_probability(0, 128), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSummary::grid_probability(64, 128), 0.9);
+  EXPECT_DOUBLE_EQ(QuantileSummary::grid_probability(127, 128), 1.0);
+  // Tail spacing is ~5x finer than a uniform grid's.
+  const double tail_step = QuantileSummary::grid_probability(100, 128) -
+                           QuantileSummary::grid_probability(99, 128);
+  EXPECT_LT(tail_step, 1.0 / 127.0 / 4.0);
+  // Monotone over the whole grid.
+  for (std::size_t i = 1; i < 128; ++i) {
+    EXPECT_GT(QuantileSummary::grid_probability(i, 128),
+              QuantileSummary::grid_probability(i - 1, 128));
+  }
+}
+
+TEST(QuantileSummary, WireBytesMatchGridSize) {
+  const auto samples = lognormal_samples(672, 1);
+  const auto summary = QuantileSummary::from_samples(samples, 128);
+  EXPECT_EQ(summary.wire_bytes(), 128 * sizeof(double) + sizeof(std::uint64_t));
+  EXPECT_LT(summary.wire_bytes(), 672 * sizeof(double) / 4);
+}
+
+TEST(QuantileSummary, ReconstructionPreservesQuantiles) {
+  const auto samples = lognormal_samples(672, 2);
+  const auto summary = QuantileSummary::from_samples(samples, 128);
+  const auto rebuilt = summary.reconstruct(672);
+  const stats::EmpiricalDistribution original(samples);
+  const stats::EmpiricalDistribution restored(rebuilt);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(restored.quantile(q), original.quantile(q),
+                0.05 * original.quantile(q) + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSummary, InvalidInputsAreErrors) {
+  EXPECT_THROW((void)QuantileSummary::from_samples({}, 8), PreconditionError);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)QuantileSummary::from_samples(one, 3), PreconditionError);
+  const QuantileSummary empty;
+  EXPECT_THROW((void)empty.reconstruct(10), PreconditionError);
+}
+
+TEST(PooledSummaries, MatchesRawPoolingOnHeterogeneousHosts) {
+  // The monoculture's central computation: pooled 99th percentile from
+  // compact summaries must track pooling the raw data, including when one
+  // heavy host dominates the tail.
+  std::vector<std::vector<double>> raw;
+  raw.push_back(lognormal_samples(672, 3));                 // light
+  raw.push_back(lognormal_samples(672, 4));                 // light
+  auto heavy = lognormal_samples(672, 5);
+  for (double& v : heavy) v *= 40.0;                        // heavy host
+  raw.push_back(heavy);
+
+  std::vector<stats::EmpiricalDistribution> dists;
+  std::vector<QuantileSummary> summaries;
+  for (const auto& samples : raw) {
+    dists.emplace_back(samples);
+    summaries.push_back(QuantileSummary::from_samples(samples, 128));
+  }
+  const auto exact = stats::EmpiricalDistribution::merge(dists);
+  const auto approx = pooled_from_summaries(summaries);
+  for (double q : {0.5, 0.9}) {
+    EXPECT_NEAR(approx.quantile(q), exact.quantile(q), 0.06 * exact.quantile(q))
+        << "q=" << q;
+  }
+  // The extreme tail of a sigma=1.2 lognormal x40 moves fast between grid
+  // points; 128 points bound the q99 error to ~10%.
+  EXPECT_NEAR(approx.quantile(0.99), exact.quantile(0.99),
+              0.10 * exact.quantile(0.99));
+}
+
+TEST(PooledSummaries, SampleCountsCarryWeight) {
+  // A host with 10x the evidence must pull the pooled median toward itself.
+  std::vector<QuantileSummary> summaries;
+  summaries.push_back(
+      QuantileSummary::from_samples(std::vector<double>(1000, 100.0), 8));
+  summaries.push_back(QuantileSummary::from_samples(std::vector<double>(100, 1.0), 8));
+  // (constant-valued hosts: reconstruction is exact regardless of grid)
+  const auto pooled = pooled_from_summaries(summaries);
+  EXPECT_DOUBLE_EQ(pooled.quantile(0.5), 100.0);
+}
+
+TEST(PooledSummaries, EmptyInputIsAnError) {
+  EXPECT_THROW((void)pooled_from_summaries({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,112 @@
+#include "hids/threshold_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+using stats::EmpiricalDistribution;
+
+std::vector<EmpiricalDistribution> population_at(std::vector<double> levels) {
+  std::vector<EmpiricalDistribution> users;
+  for (double level : levels) users.emplace_back(std::vector<double>(100, level));
+  return users;
+}
+
+TEST(AssignThresholds, FullDiversityGivesPersonalThresholds) {
+  const auto users = population_at({10, 100, 1000});
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, FullDiversityGrouper{}, p99);
+  EXPECT_DOUBLE_EQ(a.threshold(0), 10.0);
+  EXPECT_DOUBLE_EQ(a.threshold(1), 100.0);
+  EXPECT_DOUBLE_EQ(a.threshold(2), 1000.0);
+}
+
+TEST(AssignThresholds, HomogeneousGivesOneSharedThreshold) {
+  const auto users = population_at({10, 100, 1000});
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, HomogeneousGrouper{}, p99);
+  EXPECT_EQ(a.threshold_of_group.size(), 1u);
+  for (std::uint32_t u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(a.threshold(u), a.threshold_of_group[0]);
+  }
+  // The pooled 99th percentile of {10x100, 100x100, 1000x100} is 1000: the
+  // heavy user drags everyone's threshold up — the monoculture effect.
+  EXPECT_DOUBLE_EQ(a.threshold_of_group[0], 1000.0);
+}
+
+TEST(AssignThresholds, GroupMembersShareTheGroupThreshold) {
+  std::vector<double> levels;
+  for (int i = 1; i <= 40; ++i) levels.push_back(i * 10.0);
+  const auto users = population_at(std::move(levels));
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, KneePartialGrouper{}, p99);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    EXPECT_DOUBLE_EQ(a.threshold_of_user[u],
+                     a.threshold_of_group[a.groups.group_of_user[u]]);
+  }
+}
+
+TEST(AssignThresholds, PartialThresholdsLieBetweenExtremePolicies) {
+  std::vector<double> levels;
+  for (int i = 1; i <= 100; ++i) levels.push_back(static_cast<double>(i * i));
+  const auto users = population_at(std::move(levels));
+  const PercentileHeuristic p99(0.99);
+  const auto full = assign_thresholds(users, FullDiversityGrouper{}, p99);
+  const auto homog = assign_thresholds(users, HomogeneousGrouper{}, p99);
+  const auto partial = assign_thresholds(users, KneePartialGrouper{}, p99);
+  // For the lightest user: personal <= group <= global.
+  EXPECT_LE(full.threshold(0), partial.threshold(0));
+  EXPECT_LE(partial.threshold(0), homog.threshold(0));
+}
+
+TEST(AssignThresholds, ForwardsAttackModelToHeuristic) {
+  const auto users = population_at({10, 20});
+  const UtilityHeuristic h(0.5);
+  AttackModel attack;
+  attack.sizes = {5.0, 50.0};
+  const auto a = assign_thresholds(users, FullDiversityGrouper{}, h, &attack);
+  EXPECT_EQ(a.threshold_of_user.size(), 2u);
+  // Without the model the FN-aware heuristic must throw.
+  EXPECT_THROW((void)assign_thresholds(users, FullDiversityGrouper{}, h), PreconditionError);
+}
+
+TEST(AssignThresholds, EmptyPopulationIsAnError) {
+  const std::vector<EmpiricalDistribution> empty;
+  const PercentileHeuristic p99(0.99);
+  EXPECT_THROW((void)assign_thresholds(empty, HomogeneousGrouper{}, p99),
+               PreconditionError);
+}
+
+TEST(BestUsers, ReturnsLowestThresholdsFirst) {
+  const auto users = population_at({50, 10, 30, 20, 40});
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, FullDiversityGrouper{}, p99);
+  const auto best = best_users(a, 3);
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_EQ(best[0], 1u);  // level 10
+  EXPECT_EQ(best[1], 3u);  // level 20
+  EXPECT_EQ(best[2], 2u);  // level 30
+}
+
+TEST(BestUsers, CountClampedToPopulation) {
+  const auto users = population_at({1, 2});
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, FullDiversityGrouper{}, p99);
+  EXPECT_EQ(best_users(a, 10).size(), 2u);
+}
+
+TEST(BestUsers, TiesBreakByUserId) {
+  const auto users = population_at({5, 5, 5});
+  const PercentileHeuristic p99(0.99);
+  const auto a = assign_thresholds(users, FullDiversityGrouper{}, p99);
+  const auto best = best_users(a, 3);
+  EXPECT_EQ(best[0], 0u);
+  EXPECT_EQ(best[1], 1u);
+  EXPECT_EQ(best[2], 2u);
+}
+
+}  // namespace
+}  // namespace monohids::hids

@@ -1,0 +1,53 @@
+#include "net/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::net {
+namespace {
+
+FiveTuple make(Protocol proto, std::uint16_t dst_port) {
+  return {Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("93.0.0.1"), 50000, dst_port,
+          proto};
+}
+
+TEST(Classify, DnsOverUdpAndTcp) {
+  EXPECT_EQ(classify(make(Protocol::Udp, ports::kDns)), Service::Dns);
+  EXPECT_EQ(classify(make(Protocol::Tcp, ports::kDns)), Service::Dns);
+}
+
+TEST(Classify, WebPorts) {
+  EXPECT_EQ(classify(make(Protocol::Tcp, ports::kHttp)), Service::Http);
+  EXPECT_EQ(classify(make(Protocol::Tcp, ports::kHttps)), Service::Https);
+}
+
+TEST(Classify, Smtp) {
+  EXPECT_EQ(classify(make(Protocol::Tcp, ports::kSmtp)), Service::Smtp);
+}
+
+TEST(Classify, HttpIsTcpOnly) {
+  // UDP to port 80 is not HTTP in this model.
+  EXPECT_EQ(classify(make(Protocol::Udp, ports::kHttp)), Service::OtherUdp);
+}
+
+TEST(Classify, FallbackBuckets) {
+  EXPECT_EQ(classify(make(Protocol::Tcp, 5222)), Service::OtherTcp);
+  EXPECT_EQ(classify(make(Protocol::Udp, 12345)), Service::OtherUdp);
+  EXPECT_EQ(classify(make(Protocol::Icmp, 0)), Service::OtherIcmp);
+}
+
+TEST(Classify, SourcePortDoesNotMatter) {
+  // Classification keys on the destination port: a reply from port 80 to an
+  // ephemeral port is not itself an HTTP connection.
+  FiveTuple reply{Ipv4Address::parse("93.0.0.1"), Ipv4Address::parse("10.0.0.1"), 80, 50000,
+                  Protocol::Tcp};
+  EXPECT_EQ(classify(reply), Service::OtherTcp);
+}
+
+TEST(Classify, ServiceNames) {
+  EXPECT_EQ(to_string(Service::Dns), "dns");
+  EXPECT_EQ(to_string(Service::Http), "http");
+  EXPECT_EQ(to_string(Service::OtherUdp), "other-udp");
+}
+
+}  // namespace
+}  // namespace monohids::net

@@ -1,0 +1,104 @@
+// Randomized robustness tests: the flow table must maintain its invariants
+// under arbitrary (valid) packet soup — random tuples, flags, orderings of
+// flows, interleavings and timeouts.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/flow_table.hpp"
+#include "stats/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::net {
+namespace {
+
+const Ipv4Address kHost = Ipv4Address::parse("10.0.0.1");
+
+PacketRecord random_packet(util::Xoshiro256& rng, util::Timestamp at) {
+  PacketRecord p;
+  p.timestamp = at;
+  const bool outbound = rng.uniform01() < 0.7;
+  const Ipv4Address peer(static_cast<std::uint32_t>(
+      stats::sample_uniform_int(rng, 1u << 24, (200u << 24))));
+  const auto sport = static_cast<std::uint16_t>(stats::sample_uniform_int(rng, 1024, 65535));
+  const auto dport = static_cast<std::uint16_t>(stats::sample_uniform_int(rng, 1, 65535));
+  p.tuple = outbound ? FiveTuple{kHost, peer, sport, dport, Protocol::Tcp}
+                     : FiveTuple{peer, kHost, sport, dport, Protocol::Tcp};
+  if (rng.uniform01() < 0.3) p.tuple.protocol = Protocol::Udp;
+  if (p.tuple.protocol == Protocol::Tcp) {
+    const double roll = rng.uniform01();
+    if (roll < 0.3) {
+      p.tcp_flags = TcpFlags::Syn;
+    } else if (roll < 0.4) {
+      p.tcp_flags = TcpFlags::Syn | TcpFlags::Ack;
+    } else if (roll < 0.6) {
+      p.tcp_flags = TcpFlags::Ack;
+    } else if (roll < 0.75) {
+      p.tcp_flags = TcpFlags::Fin | TcpFlags::Ack;
+    } else if (roll < 0.85) {
+      p.tcp_flags = TcpFlags::Rst;
+    } else {
+      p.tcp_flags = TcpFlags::Ack | TcpFlags::Psh;
+    }
+  }
+  return p;
+}
+
+class FlowTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableFuzz, InvariantsHoldUnderRandomTraffic) {
+  util::Xoshiro256 rng(GetParam());
+  FlowTable table(kHost);
+
+  util::Timestamp now = 0;
+  std::uint64_t starts = 0, ends = 0;
+  const int packets = 20000;
+  for (int i = 0; i < packets; ++i) {
+    now += stats::sample_uniform_int(rng, 0, 2 * util::kMicrosPerSecond);
+    // occasionally jump far ahead so timeouts kick in
+    if (rng.uniform01() < 0.002) now += 10 * util::kMicrosPerMinute;
+    table.process(random_packet(rng, now));
+    for (const auto& e : table.drain_events()) {
+      if (e.kind == FlowEventKind::Start) ++starts;
+      if (e.kind == FlowEventKind::End) ++ends;
+      // Every event involves the monitored host and is time-ordered.
+      ASSERT_TRUE(e.tuple.src_ip == kHost || e.tuple.dst_ip == kHost);
+      ASSERT_LE(e.timestamp, now);
+    }
+    // Live flows can never exceed created-minus-ended.
+    ASSERT_EQ(table.active_flows(), starts - ends);
+  }
+
+  table.flush(now + 1);
+  for (const auto& e : table.drain_events()) {
+    if (e.kind == FlowEventKind::End) ++ends;
+  }
+  // Conservation: every started flow eventually ends, exactly once.
+  EXPECT_EQ(starts, ends);
+  EXPECT_EQ(table.active_flows(), 0u);
+  EXPECT_EQ(table.stats().flows_created, starts);
+  EXPECT_EQ(table.stats().flows_ended_fin + table.stats().flows_ended_rst +
+                table.stats().flows_ended_timeout,
+            ends);
+  EXPECT_EQ(table.stats().packets_processed, static_cast<std::uint64_t>(packets));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(FlowTableFuzz, DrainOrderIsMonotone) {
+  util::Xoshiro256 rng(99);
+  FlowTable table(kHost);
+  util::Timestamp now = 0;
+  std::vector<FlowEvent> all;
+  for (int i = 0; i < 5000; ++i) {
+    now += stats::sample_uniform_int(rng, 0, util::kMicrosPerSecond);
+    table.process(random_packet(rng, now));
+    for (const auto& e : table.drain_events()) all.push_back(e);
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    ASSERT_LE(all[i - 1].timestamp, all[i].timestamp);
+  }
+}
+
+}  // namespace
+}  // namespace monohids::net

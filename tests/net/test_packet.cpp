@@ -1,0 +1,75 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace monohids::net {
+namespace {
+
+FiveTuple tuple_a() {
+  return {Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("93.0.0.1"), 50000, 80,
+          Protocol::Tcp};
+}
+
+TEST(TcpFlags, BitwiseOrAndTest) {
+  const TcpFlags flags = TcpFlags::Syn | TcpFlags::Ack;
+  EXPECT_TRUE(has_flag(flags, TcpFlags::Syn));
+  EXPECT_TRUE(has_flag(flags, TcpFlags::Ack));
+  EXPECT_FALSE(has_flag(flags, TcpFlags::Fin));
+  EXPECT_FALSE(has_flag(TcpFlags::None, TcpFlags::Syn));
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple t = tuple_a();
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_ip, t.src_ip);
+  EXPECT_EQ(r.src_port, t.dst_port);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.protocol, t.protocol);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, EqualityIsFieldwise) {
+  FiveTuple a = tuple_a();
+  FiveTuple b = tuple_a();
+  EXPECT_EQ(a, b);
+  b.dst_port = 443;
+  EXPECT_NE(a, b);
+}
+
+TEST(FiveTuple, HashDistinguishesDirection) {
+  const FiveTuple t = tuple_a();
+  std::unordered_set<FiveTuple> set;
+  set.insert(t);
+  set.insert(t.reversed());
+  set.insert(t);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FiveTuple, HashSpreadsPorts) {
+  std::unordered_set<std::size_t> hashes;
+  FiveTuple t = tuple_a();
+  std::hash<FiveTuple> h;
+  for (std::uint16_t port = 1000; port < 2000; ++port) {
+    t.src_port = port;
+    hashes.insert(h(t));
+  }
+  EXPECT_GT(hashes.size(), 990u);  // near-zero collisions over 1000 keys
+}
+
+TEST(PacketRecord, OrderingByTimestampFirst) {
+  PacketRecord early{100, tuple_a(), TcpFlags::Syn, 0};
+  PacketRecord late{200, tuple_a(), TcpFlags::Syn, 0};
+  EXPECT_LT(early, late);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_EQ(to_string(Protocol::Tcp), "tcp");
+  EXPECT_EQ(to_string(Protocol::Udp), "udp");
+  EXPECT_EQ(to_string(Protocol::Icmp), "icmp");
+}
+
+}  // namespace
+}  // namespace monohids::net

@@ -1,0 +1,90 @@
+#include "sim/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::sim {
+namespace {
+
+TEST(ConfigIo, DefaultsRoundTrip) {
+  const ScenarioConfig original;
+  const std::string text = serialize_scenario_config(original);
+  const ScenarioConfig restored = parse_scenario_config(text);
+  EXPECT_EQ(restored.population.user_count, original.population.user_count);
+  EXPECT_EQ(restored.population.seed, original.population.seed);
+  EXPECT_EQ(restored.population.weeks, original.population.weeks);
+  EXPECT_DOUBLE_EQ(restored.population.heavy_fraction, original.population.heavy_fraction);
+  EXPECT_DOUBLE_EQ(restored.population.weekly_trend, original.population.weekly_trend);
+  EXPECT_EQ(restored.generator.grid.width(), original.generator.grid.width());
+  EXPECT_DOUBLE_EQ(restored.generator.episode_log_mu, original.generator.episode_log_mu);
+}
+
+TEST(ConfigIo, CustomValuesRoundTrip) {
+  ScenarioConfig original;
+  original.set_users(42);
+  original.set_seed(777);
+  original.set_weeks(3);
+  original.population.heavy_fraction = 0.25;
+  original.population.weekly_trend = 0.9;
+  original.generator.grid = util::BinGrid::minutes(5);
+  const ScenarioConfig restored =
+      parse_scenario_config(serialize_scenario_config(original));
+  EXPECT_EQ(restored.population.user_count, 42u);
+  EXPECT_EQ(restored.population.seed, 777u);
+  EXPECT_EQ(restored.population.weeks, 3u);
+  EXPECT_EQ(restored.generator.weeks, 3u);
+  EXPECT_DOUBLE_EQ(restored.population.heavy_fraction, 0.25);
+  EXPECT_EQ(restored.generator.grid.width(), 5 * util::kMicrosPerMinute);
+}
+
+TEST(ConfigIo, RoundTripProducesIdenticalScenario) {
+  ScenarioConfig original;
+  original.set_users(8);
+  original.set_weeks(1);
+  original.set_seed(99);
+  const ScenarioConfig restored =
+      parse_scenario_config(serialize_scenario_config(original));
+  const auto a = build_scenario(original);
+  const auto b = build_scenario(restored);
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    const auto& sa = a.matrices[u].of(features::FeatureKind::TcpConnections);
+    const auto& sb = b.matrices[u].of(features::FeatureKind::TcpConnections);
+    for (std::size_t bin = 0; bin < sa.bin_count(); ++bin) {
+      ASSERT_DOUBLE_EQ(sa.at(bin), sb.at(bin));
+    }
+  }
+}
+
+TEST(ConfigIo, MissingKeysKeepDefaults) {
+  const ScenarioConfig config = parse_scenario_config("users = 10\n");
+  EXPECT_EQ(config.population.user_count, 10u);
+  EXPECT_EQ(config.population.weeks, ScenarioConfig{}.population.weeks);
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  const ScenarioConfig config =
+      parse_scenario_config("# hello\n\n   \nusers = 20\n# bye\n");
+  EXPECT_EQ(config.population.user_count, 20u);
+}
+
+TEST(ConfigIo, UnknownKeyIsAnError) {
+  EXPECT_THROW((void)parse_scenario_config("userz = 10\n"), InputError);
+}
+
+TEST(ConfigIo, MalformedLinesAreErrors) {
+  EXPECT_THROW((void)parse_scenario_config("users\n"), InputError);
+  EXPECT_THROW((void)parse_scenario_config("users = ten\n"), InputError);
+  EXPECT_THROW((void)parse_scenario_config("users = 0\n"), InputError);
+  EXPECT_THROW((void)parse_scenario_config("heavy_fraction = 1.5\n"), InputError);
+  EXPECT_THROW((void)parse_scenario_config("bin_minutes = 0\n"), InputError);
+}
+
+TEST(ConfigIo, SubnetBaseParses) {
+  const ScenarioConfig config = parse_scenario_config("subnet_base = 192.168.0.0\n");
+  EXPECT_EQ(config.population.subnet_base.to_string(), "192.168.0.0");
+  EXPECT_THROW((void)parse_scenario_config("subnet_base = not-an-ip\n"), InputError);
+}
+
+}  // namespace
+}  // namespace monohids::sim

@@ -1,0 +1,132 @@
+#include "sim/enterprise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hids/evaluator.hpp"
+#include "trace/storm.hpp"
+#include "util/error.hpp"
+
+namespace monohids::sim {
+namespace {
+
+using features::FeatureKind;
+
+const Scenario& small_scenario() {
+  static const Scenario scenario = [] {
+    ScenarioConfig config;
+    config.set_users(30);
+    config.set_weeks(2);
+    config.set_seed(5);
+    return build_scenario(config);
+  }();
+  return scenario;
+}
+
+FeatureAssignments full_diversity_assignments() {
+  const hids::PercentileHeuristic p99(0.99);
+  return assign_all_features(small_scenario(), 0, hids::FullDiversityGrouper{}, p99);
+}
+
+TEST(Enterprise, AssignAllFeaturesCoversEveryFeature) {
+  const auto assignments = full_diversity_assignments();
+  for (FeatureKind f : features::kAllFeatures) {
+    EXPECT_EQ(assignments[features::index_of(f)].threshold_of_user.size(), 30u);
+  }
+}
+
+TEST(Enterprise, ConsoleTotalsMatchAnalyticCounts) {
+  // The operational path (HostHids -> batcher -> console) must agree with
+  // the analytic path (exceedance over week distributions) exactly.
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig config;
+  config.week = 1;
+  const auto result = run_enterprise_week(small_scenario(), assignments, config);
+
+  std::uint64_t analytic = 0;
+  for (FeatureKind f : features::kAllFeatures) {
+    const auto test = hids::week_distributions(small_scenario().matrices, f, 1);
+    for (std::uint32_t u = 0; u < 30; ++u) {
+      const double t = assignments[features::index_of(f)].threshold_of_user[u];
+      analytic += static_cast<std::uint64_t>(
+          std::llround(test[u].exceedance(t) * static_cast<double>(test[u].size())));
+    }
+  }
+  EXPECT_EQ(result.console.total_alerts(), analytic);
+}
+
+TEST(Enterprise, PerUserAccountingSumsToTotal) {
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig config;
+  config.week = 1;
+  const auto result = run_enterprise_week(small_scenario(), assignments, config);
+  std::uint64_t sum = 0;
+  for (auto a : result.alerts_per_user) sum += a;
+  EXPECT_EQ(sum, result.console.total_alerts());
+  for (std::uint32_t u = 0; u < 30; ++u) {
+    EXPECT_EQ(result.console.alerts_of_user(u), result.alerts_per_user[u]);
+  }
+}
+
+TEST(Enterprise, AlertsLandInTheScannedWeek) {
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig config;
+  config.week = 1;
+  const auto result = run_enterprise_week(small_scenario(), assignments, config);
+  ASSERT_GT(result.console.total_alerts(), 0u);
+  EXPECT_EQ(result.console.alerts_in_week(0), 0u);
+  EXPECT_EQ(result.console.alerts_in_week(1), result.console.total_alerts());
+}
+
+TEST(Enterprise, AttackOverlayRaisesAlertVolume) {
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig benign;
+  benign.week = 1;
+  const auto base = run_enterprise_week(small_scenario(), assignments, benign);
+
+  EnterpriseConfig attacked = benign;
+  trace::StormConfig storm;
+  storm.grid = small_scenario().config.generator.grid;
+  attacked.attack = trace::generate_storm_features(storm);
+  const auto with_attack = run_enterprise_week(small_scenario(), assignments, attacked);
+
+  EXPECT_GT(with_attack.console.total_alerts(), 2 * base.console.total_alerts());
+}
+
+TEST(Enterprise, BatchesAreCounted) {
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig config;
+  config.week = 1;
+  const auto result = run_enterprise_week(small_scenario(), assignments, config);
+  EXPECT_GT(result.total_batches, 0u);
+  EXPECT_EQ(result.total_batches, result.console.total_batches());
+  // Hourly batching bounds batches per host by hours per week.
+  EXPECT_LE(result.total_batches, 30u * 168u);
+}
+
+TEST(Enterprise, WeekOutsideHorizonIsAnError) {
+  const auto assignments = full_diversity_assignments();
+  EnterpriseConfig config;
+  config.week = 2;
+  EXPECT_THROW((void)run_enterprise_week(small_scenario(), assignments, config),
+               PreconditionError);
+}
+
+TEST(Enterprise, HomogeneousFloodsConsoleFromFewHosts) {
+  const hids::PercentileHeuristic p99(0.99);
+  const auto homog =
+      assign_all_features(small_scenario(), 0, hids::HomogeneousGrouper{}, p99);
+  EnterpriseConfig config;
+  config.week = 1;
+  const auto result = run_enterprise_week(small_scenario(), homog, config);
+  if (result.console.total_alerts() == 0) GTEST_SKIP() << "no alarms in tiny scenario";
+  // Most of the console volume comes from a handful of heavy hosts.
+  const auto noisy = result.console.noisiest_users(3);
+  std::uint64_t top3 = 0;
+  for (const auto& [user, count] : noisy) top3 += count;
+  EXPECT_GT(top3 * 2, result.console.total_alerts());
+}
+
+}  // namespace
+}  // namespace monohids::sim

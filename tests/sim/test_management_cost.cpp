@@ -1,0 +1,77 @@
+#include "sim/management_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::sim {
+namespace {
+
+TEST(ManagementCost, FullDiversityShipsNothingButAuditsEveryone) {
+  ManagementCostConfig config;
+  const auto costs = management_costs(config, ReportingMode::FullDistribution);
+  ASSERT_EQ(costs.size(), 3u);
+  const auto& full = costs[1];
+  EXPECT_EQ(full.policy, "full-diversity");
+  EXPECT_EQ(full.uplink_bytes_per_week, 0u);
+  EXPECT_EQ(full.downlink_bytes_per_week, 0u);
+  EXPECT_EQ(full.distinct_configurations, 350u);
+}
+
+TEST(ManagementCost, CentralizedPoliciesPullEveryDistribution) {
+  ManagementCostConfig config;
+  const auto costs = management_costs(config, ReportingMode::FullDistribution);
+  // 350 hosts x 6 features x 672 bins x 8 bytes
+  const std::uint64_t expected = 350ull * 6 * 672 * 8;
+  EXPECT_EQ(costs[0].uplink_bytes_per_week, expected);
+  EXPECT_EQ(costs[2].uplink_bytes_per_week, expected);
+  EXPECT_EQ(costs[0].distinct_configurations, 1u);
+  EXPECT_EQ(costs[2].distinct_configurations, 8u);
+}
+
+TEST(ManagementCost, SummariesShrinkUplinkSubstantially) {
+  ManagementCostConfig config;
+  const auto full = management_costs(config, ReportingMode::FullDistribution);
+  const auto compact = management_costs(config, ReportingMode::QuantileSummary);
+  EXPECT_LT(compact[0].uplink_bytes_per_week * 4, full[0].uplink_bytes_per_week);
+  // summary: 128 doubles + count, per host-feature
+  EXPECT_EQ(compact[0].uplink_bytes_per_week, 350ull * 6 * (128 * 8 + 8));
+}
+
+TEST(ManagementCost, DownlinkScalesWithHostsNotGroups) {
+  // Every host receives its (possibly shared) threshold set.
+  ManagementCostConfig config;
+  const auto costs = management_costs(config, ReportingMode::QuantileSummary);
+  EXPECT_EQ(costs[0].downlink_bytes_per_week, 350ull * 6 * 8);
+  EXPECT_EQ(costs[2].downlink_bytes_per_week, 350ull * 6 * 8);
+}
+
+TEST(ManagementCost, ConfigurableShape) {
+  ManagementCostConfig config;
+  config.users = 10;
+  config.features = 2;
+  config.bins_per_week = 100;
+  config.partial_groups = 3;
+  const auto costs = management_costs(config, ReportingMode::FullDistribution);
+  EXPECT_EQ(costs[0].uplink_bytes_per_week, 10ull * 2 * 100 * 8);
+  EXPECT_EQ(costs[2].policy, "3-partial");
+  EXPECT_EQ(costs[2].distinct_configurations, 3u);
+}
+
+TEST(ManagementCost, InvalidInputsAreErrors) {
+  ManagementCostConfig config;
+  config.users = 0;
+  EXPECT_THROW((void)management_costs(config, ReportingMode::FullDistribution),
+               PreconditionError);
+  EXPECT_THROW((void)management_costs(ManagementCostConfig{}, ReportingMode::None),
+               PreconditionError);
+}
+
+TEST(ManagementCost, ModeNames) {
+  EXPECT_EQ(name_of(ReportingMode::None), "local-only");
+  EXPECT_EQ(name_of(ReportingMode::FullDistribution), "full-distribution");
+  EXPECT_EQ(name_of(ReportingMode::QuantileSummary), "quantile-summary");
+}
+
+}  // namespace
+}  // namespace monohids::sim

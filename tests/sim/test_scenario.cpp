@@ -1,0 +1,73 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::sim {
+namespace {
+
+ScenarioConfig tiny(std::uint32_t users = 12, std::uint32_t weeks = 2) {
+  ScenarioConfig config;
+  config.set_users(users);
+  config.set_weeks(weeks);
+  config.set_seed(77);
+  return config;
+}
+
+TEST(Scenario, BuildsMatricesForEveryUser) {
+  const auto scenario = build_scenario(tiny());
+  EXPECT_EQ(scenario.user_count(), 12u);
+  ASSERT_EQ(scenario.matrices.size(), 12u);
+  for (const auto& m : scenario.matrices) {
+    EXPECT_EQ(m.of(features::FeatureKind::TcpConnections).bin_count(), 2u * 672u);
+  }
+}
+
+TEST(Scenario, Deterministic) {
+  const auto a = build_scenario(tiny());
+  const auto b = build_scenario(tiny());
+  for (std::uint32_t u = 0; u < a.user_count(); ++u) {
+    const auto& sa = a.matrices[u].of(features::FeatureKind::UdpConnections);
+    const auto& sb = b.matrices[u].of(features::FeatureKind::UdpConnections);
+    for (std::size_t bin = 0; bin < sa.bin_count(); ++bin) {
+      ASSERT_DOUBLE_EQ(sa.at(bin), sb.at(bin));
+    }
+  }
+}
+
+TEST(Scenario, SeedChangesTraffic) {
+  auto config_b = tiny();
+  config_b.set_seed(78);
+  const auto a = build_scenario(tiny());
+  const auto b = build_scenario(config_b);
+  double total_a = 0, total_b = 0;
+  for (std::uint32_t u = 0; u < a.user_count(); ++u) {
+    for (double v : a.matrices[u].of(features::FeatureKind::TcpConnections).values()) {
+      total_a += v;
+    }
+    for (double v : b.matrices[u].of(features::FeatureKind::TcpConnections).values()) {
+      total_b += v;
+    }
+  }
+  EXPECT_NE(total_a, total_b);
+}
+
+TEST(Scenario, SetWeeksKeepsPopulationAndGeneratorInSync) {
+  ScenarioConfig config;
+  config.set_weeks(3);
+  EXPECT_EQ(config.population.weeks, 3u);
+  EXPECT_EQ(config.generator.weeks, 3u);
+}
+
+TEST(Scenario, EveryUserHasTraffic) {
+  const auto scenario = build_scenario(tiny(20, 1));
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    double total = 0;
+    for (double v : scenario.matrices[u].of(features::FeatureKind::TcpConnections).values()) {
+      total += v;
+    }
+    EXPECT_GT(total, 0.0) << "user " << u << " generated no TCP traffic";
+  }
+}
+
+}  // namespace
+}  // namespace monohids::sim

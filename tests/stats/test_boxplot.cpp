@@ -1,0 +1,69 @@
+#include "stats/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+namespace {
+
+TEST(BoxStats, QuartilesOfSimpleSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const auto s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 5.0);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(BoxStats, OutliersBeyondTukeyFences) {
+  std::vector<double> v{10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+  v.push_back(100.0);  // far outlier
+  v.push_back(-50.0);
+  const auto s = box_stats(v);
+  EXPECT_EQ(s.outliers, 2u);
+  // whiskers stop at the most extreme non-outlier samples
+  EXPECT_DOUBLE_EQ(s.whisker_low, 10.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 19.0);
+}
+
+TEST(BoxStats, SingleSample) {
+  const std::vector<double> v{7.0};
+  const auto s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.q1, 7.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 7.0);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(BoxStats, ConstantSample) {
+  const std::vector<double> v(50, 3.3);
+  const auto s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.q1, 3.3);
+  EXPECT_DOUBLE_EQ(s.q3, 3.3);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(BoxStats, EmptySampleIsAnError) {
+  EXPECT_THROW((void)box_stats(std::vector<double>{}), PreconditionError);
+}
+
+TEST(BoxStats, UnsortedInputHandled) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  const auto s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(BoxStats, InvariantOrdering) {
+  const std::vector<double> v{3, 7, 1, 9, 2, 8, 4, 6, 5, 100};
+  const auto s = box_stats(v);
+  EXPECT_LE(s.whisker_low, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.whisker_high);
+}
+
+}  // namespace
+}  // namespace monohids::stats

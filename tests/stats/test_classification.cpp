@@ -1,0 +1,73 @@
+#include "stats/classification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::stats {
+namespace {
+
+ConfusionCounts counts(std::uint64_t tp, std::uint64_t fp, std::uint64_t tn,
+                       std::uint64_t fn) {
+  return ConfusionCounts{tp, fp, tn, fn};
+}
+
+TEST(Classification, RatesFromCounts) {
+  const auto c = counts(40, 5, 95, 10);
+  EXPECT_DOUBLE_EQ(false_positive_rate(c), 0.05);
+  EXPECT_DOUBLE_EQ(false_negative_rate(c), 0.2);
+  EXPECT_DOUBLE_EQ(recall(c), 0.8);
+  EXPECT_DOUBLE_EQ(precision(c), 40.0 / 45.0);
+}
+
+TEST(Classification, FMeasureIsHarmonicMean) {
+  const auto c = counts(50, 50, 0, 50);
+  // precision = 0.5, recall = 0.5 -> F = 0.5
+  EXPECT_DOUBLE_EQ(f_measure(c), 0.5);
+}
+
+TEST(Classification, DegenerateDenominatorsYieldZero) {
+  const ConfusionCounts empty;
+  EXPECT_DOUBLE_EQ(false_positive_rate(empty), 0.0);
+  EXPECT_DOUBLE_EQ(false_negative_rate(empty), 0.0);
+  EXPECT_DOUBLE_EQ(precision(empty), 0.0);
+  EXPECT_DOUBLE_EQ(recall(empty), 0.0);
+  EXPECT_DOUBLE_EQ(f_measure(empty), 0.0);
+}
+
+TEST(Classification, PerfectDetector) {
+  const auto c = counts(100, 0, 900, 0);
+  EXPECT_DOUBLE_EQ(f_measure(c), 1.0);
+  EXPECT_DOUBLE_EQ(utility(false_negative_rate(c), false_positive_rate(c), 0.4), 1.0);
+}
+
+TEST(Classification, AccumulationOperator) {
+  auto a = counts(1, 2, 3, 4);
+  const auto b = counts(10, 20, 30, 40);
+  a += b;
+  EXPECT_EQ(a.true_positives, 11u);
+  EXPECT_EQ(a.false_positives, 22u);
+  EXPECT_EQ(a.true_negatives, 33u);
+  EXPECT_EQ(a.false_negatives, 44u);
+  EXPECT_EQ(a.total(), 110u);
+}
+
+TEST(Utility, MatchesPaperFormula) {
+  // U = 1 - [w FN + (1-w) FP]
+  EXPECT_DOUBLE_EQ(utility(0.0, 0.0, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(utility(1.0, 1.0, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(utility(0.5, 0.1, 0.4), 1.0 - (0.4 * 0.5 + 0.6 * 0.1));
+}
+
+TEST(Utility, WeightInterpolatesBetweenRates) {
+  // w = 1 ignores FP entirely; w = 0 ignores FN.
+  EXPECT_DOUBLE_EQ(utility(0.3, 0.9, 1.0), 0.7);
+  EXPECT_DOUBLE_EQ(utility(0.3, 0.9, 0.0), 1.0 - 0.9);
+}
+
+TEST(Utility, HigherFnHurtsMoreAsWGrows) {
+  const double low_w = utility(0.5, 0.0, 0.2);
+  const double high_w = utility(0.5, 0.0, 0.8);
+  EXPECT_GT(low_w, high_w);
+}
+
+}  // namespace
+}  // namespace monohids::stats

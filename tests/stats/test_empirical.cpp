@@ -1,0 +1,129 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+namespace {
+
+EmpiricalDistribution dist(std::vector<double> v) {
+  return EmpiricalDistribution(std::move(v));
+}
+
+TEST(Empirical, BasicStatistics) {
+  const auto d = dist({4, 1, 3, 2});
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(d.stddev(), std::sqrt(1.25));
+}
+
+TEST(Empirical, SamplesAreSorted) {
+  const auto d = dist({3, 1, 2});
+  const auto s = d.samples();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Empirical, NonFiniteSamplesAreAnError) {
+  EXPECT_THROW(dist({1.0, std::numeric_limits<double>::infinity()}), PreconditionError);
+  EXPECT_THROW(dist({std::nan("")}), PreconditionError);
+}
+
+TEST(Empirical, EmptyQueriesAreErrors) {
+  const EmpiricalDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_THROW((void)d.min(), PreconditionError);
+  EXPECT_THROW((void)d.mean(), PreconditionError);
+  EXPECT_THROW((void)d.cdf(0.0), PreconditionError);
+}
+
+TEST(Empirical, CdfCountsInclusively) {
+  const auto d = dist({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(99.0), 1.0);
+}
+
+TEST(Empirical, ExceedanceIsComplementOfCdf) {
+  const auto d = dist({1, 2, 3, 4});
+  for (double x : {0.0, 1.5, 2.0, 4.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(d.exceedance(x), 1.0 - d.cdf(x));
+  }
+}
+
+TEST(Empirical, ExceedanceIsTheDetectorFalsePositiveRate) {
+  // A threshold at the 99th percentile leaves at most 1% strictly above.
+  util::Xoshiro256 rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.uniform01() * 1000.0);
+  const auto d = dist(std::move(v));
+  EXPECT_LE(d.exceedance(d.quantile(0.99)), 0.01 + 1e-9);
+}
+
+TEST(Empirical, ShiftedCdfMatchesManualShift) {
+  const auto d = dist({10, 20, 30});
+  // P(X + 5 <= 20) = P(X <= 15) = 1/3
+  EXPECT_DOUBLE_EQ(d.shifted_cdf(5.0, 20.0), 1.0 / 3.0);
+  // P(X + 25 <= 20) = P(X <= -5) = 0
+  EXPECT_DOUBLE_EQ(d.shifted_cdf(25.0, 20.0), 0.0);
+}
+
+TEST(Empirical, MaxHiddenShiftSatisfiesEvasionTarget) {
+  util::Xoshiro256 rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.uniform01() * 100.0);
+  const auto d = dist(std::move(v));
+  const double t = d.quantile(0.99);
+  const double b = d.max_hidden_shift(t, 0.9);
+  EXPECT_GT(b, 0.0);
+  // The attack must evade with at least the target probability...
+  EXPECT_GE(d.shifted_cdf(b, t), 0.9);
+  // ...and adding a bit more volume must break the guarantee (maximality).
+  EXPECT_LT(d.shifted_cdf(b + 1.0, t), 0.9);
+}
+
+TEST(Empirical, MaxHiddenShiftZeroWhenThresholdTooTight) {
+  const auto d = dist({10, 20, 30});
+  // Threshold below the 90th-percentile value: no room at all.
+  EXPECT_DOUBLE_EQ(d.max_hidden_shift(5.0, 0.9), 0.0);
+}
+
+TEST(Empirical, MergePoolsAllSamples) {
+  const std::vector<EmpiricalDistribution> parts{dist({1, 2}), dist({3}), dist({4, 5, 6})};
+  const auto merged = EmpiricalDistribution::merge(parts);
+  EXPECT_EQ(merged.size(), 6u);
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 6.0);
+  EXPECT_DOUBLE_EQ(merged.mean(), 3.5);
+}
+
+TEST(Empirical, MergedQuantileDominatedByHeavyPart) {
+  // The homogeneous-policy effect: one heavy user drags the pooled
+  // threshold far above the light users' personal ones.
+  std::vector<double> light(990, 1.0);
+  std::vector<double> heavy(10, 1000.0);
+  const std::vector<EmpiricalDistribution> parts{dist(std::move(light)),
+                                                 dist(std::move(heavy))};
+  const auto merged = EmpiricalDistribution::merge(parts);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.995), 1000.0);
+}
+
+TEST(Empirical, QuantileMatchesNearestRankDefinition) {
+  const auto d = dist({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile_interpolated(0.5), 3.0);
+}
+
+}  // namespace
+}  // namespace monohids::stats

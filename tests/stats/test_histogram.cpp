@@ -1,0 +1,104 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+namespace {
+
+TEST(LinearHistogram, CountsFallIntoCorrectBins) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(9), 1u);
+  EXPECT_EQ(h.count_at(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, UnderflowAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, WeightedAdd) {
+  LinearHistogram h(0.0, 10.0, 2);
+  h.add(1.0, 7);
+  EXPECT_EQ(h.count_at(0), 7u);
+}
+
+TEST(LinearHistogram, BinEdges) {
+  LinearHistogram h(0.0, 10.0, 4);
+  const auto [lo, hi] = h.bin_edges(1);
+  EXPECT_DOUBLE_EQ(lo, 2.5);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(LinearHistogram, QuantileApproximatesExact) {
+  util::Xoshiro256 rng(4);
+  LinearHistogram h(0.0, 1.0, 200);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(LinearHistogram, EmptyQuantileIsAnError) {
+  LinearHistogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), PreconditionError);
+}
+
+TEST(LinearHistogram, InvalidConstructionIsAnError) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(LogHistogram, SpansDecades) {
+  LogHistogram h(1.0, 10000.0, 10);  // 4 decades, 40 bins
+  EXPECT_EQ(h.bin_count(), 40u);
+  h.add(1.5);
+  h.add(150.0);
+  h.add(9999.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(LogHistogram, NonPositiveValuesCountedSeparately) {
+  LogHistogram h(1.0, 100.0, 5);
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(0.5);  // below lo
+  EXPECT_EQ(h.zero_or_negative(), 3u);
+}
+
+TEST(LogHistogram, QuantileAcrossDecades) {
+  // Heavy-tailed data: most mass at small values, a few huge ones.
+  LogHistogram h(1.0, 100000.0, 20);
+  for (int i = 0; i < 990; ++i) h.add(10.0);
+  for (int i = 0; i < 10; ++i) h.add(50000.0);
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 2.0);
+  EXPECT_GT(h.quantile(0.995), 10000.0);
+}
+
+TEST(LogHistogram, ZeroMassMapsToZeroQuantile) {
+  LogHistogram h(1.0, 100.0, 5);
+  for (int i = 0; i < 99; ++i) h.add(0.0);
+  h.add(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, InvalidRangeIsAnError) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), PreconditionError);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::stats

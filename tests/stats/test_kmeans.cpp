@@ -1,0 +1,109 @@
+#include "stats/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace monohids::stats {
+namespace {
+
+std::vector<std::vector<double>> well_separated_clusters(util::Xoshiro256& rng) {
+  std::vector<std::vector<double>> points;
+  for (double center : {0.0, 100.0, 200.0}) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({center + rng.uniform01(), center - rng.uniform01()});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  util::Xoshiro256 rng(61);
+  const auto points = well_separated_clusters(rng);
+  const auto result = kmeans(points, 3, rng);
+  EXPECT_TRUE(result.converged);
+  // Each original block of 30 must be in a single cluster.
+  for (int block = 0; block < 3; ++block) {
+    std::set<std::uint32_t> ids;
+    for (int i = 0; i < 30; ++i) ids.insert(result.assignment[block * 30 + i]);
+    EXPECT_EQ(ids.size(), 1u) << "block " << block << " split across clusters";
+  }
+  EXPECT_LT(result.inertia, 90 * 2.0);  // within-cluster spread is < 1 per dim
+}
+
+TEST(KMeans, SeparatedClustersHaveHighSilhouette) {
+  util::Xoshiro256 rng(62);
+  const auto points = well_separated_clusters(rng);
+  const auto result = kmeans(points, 3, rng);
+  EXPECT_GT(mean_silhouette(points, result.assignment, 3), 0.9);
+}
+
+TEST(KMeans, UniformDataHasLowSilhouette) {
+  // The paper's §5 finding: no natural holes -> clustering is not meaningful.
+  util::Xoshiro256 rng(63);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) points.push_back({rng.uniform01() * 100.0});
+  const auto result = kmeans(points, 5, rng);
+  EXPECT_LT(mean_silhouette(points, result.assignment, 5), 0.65);
+}
+
+TEST(KMeans, KOnePutsEverythingTogether) {
+  util::Xoshiro256 rng(64);
+  std::vector<std::vector<double>> points{{1.0}, {2.0}, {3.0}};
+  const auto result = kmeans(points, 1, rng);
+  for (auto a : result.assignment) EXPECT_EQ(a, 0u);
+  EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  util::Xoshiro256 rng(65);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 100; ++i) points.push_back({rng.uniform01() * 10.0});
+  double prev = 1e18;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    util::Xoshiro256 local(65);
+    const auto result = kmeans(points, k, local);
+    EXPECT_LE(result.inertia, prev + 1e-9);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, FewerPointsThanClustersIsAnError) {
+  util::Xoshiro256 rng(66);
+  std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  EXPECT_THROW((void)kmeans(points, 3, rng), PreconditionError);
+}
+
+TEST(KMeans, MixedDimensionsAreAnError) {
+  util::Xoshiro256 rng(67);
+  std::vector<std::vector<double>> points{{1.0}, {2.0, 3.0}};
+  EXPECT_THROW((void)kmeans(points, 1, rng), PreconditionError);
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  util::Xoshiro256 rng(68);
+  std::vector<std::vector<double>> points(20, {5.0});
+  const auto result = kmeans(points, 3, rng);
+  EXPECT_EQ(result.assignment.size(), 20u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(Silhouette, RequiresValidArguments) {
+  std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  std::vector<std::uint32_t> assignment{0, 1};
+  EXPECT_THROW((void)mean_silhouette(points, assignment, 1), PreconditionError);
+  std::vector<std::uint32_t> bad{0, 5};
+  EXPECT_THROW((void)mean_silhouette(points, bad, 2), PreconditionError);
+}
+
+TEST(Silhouette, PerfectSeparationApproachesOne) {
+  std::vector<std::vector<double>> points{{0.0}, {0.1}, {100.0}, {100.1}};
+  std::vector<std::uint32_t> assignment{0, 0, 1, 1};
+  EXPECT_GT(mean_silhouette(points, assignment, 2), 0.99);
+}
+
+}  // namespace
+}  // namespace monohids::stats

@@ -1,0 +1,84 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+namespace {
+
+TEST(RunningMoments, MatchesDirectComputation) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningMoments m;
+  for (double x : v) m.add(x);
+  EXPECT_EQ(m.count(), v.size());
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMoments, EmptyIsZero) {
+  const RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMoments, SingleSampleHasZeroVariance) {
+  RunningMoments m;
+  m.add(42.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 0.0);
+}
+
+TEST(RunningMoments, SampleVarianceUsesBesselCorrection) {
+  RunningMoments m;
+  m.add(1.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 1.0);         // population
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 2.0);  // n-1
+}
+
+TEST(RunningMoments, MergeEqualsSequential) {
+  util::Xoshiro256 rng(8);
+  RunningMoments whole, left, right;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform01() * 100 - 50;
+    whole.add(x);
+    (i < 700 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningMoments, MergeWithEmptySides) {
+  RunningMoments a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningMoments copy = a;
+  copy.merge(b);  // empty right
+  EXPECT_DOUBLE_EQ(copy.mean(), 1.5);
+  b.merge(a);  // empty left
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningMoments, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation test: large mean, small variance.
+  RunningMoments m;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) m.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(m.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace monohids::stats

@@ -1,0 +1,104 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "stats/sampling.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+namespace {
+
+TEST(P2, InvalidProbabilityIsAnError) {
+  EXPECT_THROW(P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(1.0), PreconditionError);
+}
+
+TEST(P2, ExactForFewerThanFiveSamples) {
+  P2Quantile p(0.5);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  p.add(1.0);
+  p.add(2.0);
+  // median of {1,2,3} via nearest rank = 2
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(P2, EmptyEstimateIsAnError) {
+  const P2Quantile p(0.9);
+  EXPECT_THROW((void)p.value(), PreconditionError);
+}
+
+TEST(P2, TracksCount) {
+  P2Quantile p(0.9);
+  for (int i = 0; i < 100; ++i) p.add(i);
+  EXPECT_EQ(p.count(), 100u);
+}
+
+struct P2Case {
+  double probability;
+  double tolerance_relative;  // vs the exact quantile's value
+};
+
+class P2Accuracy : public ::testing::TestWithParam<P2Case> {};
+
+TEST_P(P2Accuracy, UniformStream) {
+  const auto [prob, tol] = GetParam();
+  util::Xoshiro256 rng(21);
+  P2Quantile sketch(prob);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform01() * 1000.0;
+    sketch.add(x);
+    all.push_back(x);
+  }
+  const double exact = quantile_nearest_rank(all, prob);
+  EXPECT_NEAR(sketch.value(), exact, tol * 1000.0);
+}
+
+TEST_P(P2Accuracy, LogNormalStream) {
+  const auto [prob, tol] = GetParam();
+  util::Xoshiro256 rng(22);
+  const LogNormalSampler sampler(2.0, 1.0);
+  P2Quantile sketch(prob);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = sampler.sample(rng);
+    sketch.add(x);
+    all.push_back(x);
+  }
+  const double exact = quantile_nearest_rank(all, prob);
+  // relative tolerance for the heavy-tailed case
+  EXPECT_NEAR(sketch.value(), exact, std::max(1.0, 4.0 * tol * exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(P2Case{0.5, 0.01}, P2Case{0.9, 0.01},
+                                           P2Case{0.95, 0.01}, P2Case{0.99, 0.015}));
+
+TEST(P2, MonotoneEstimatesForSortedInput) {
+  // Feeding an increasing ramp: the estimate must stay within data range.
+  P2Quantile p(0.99);
+  for (int i = 1; i <= 10000; ++i) p.add(static_cast<double>(i));
+  EXPECT_GT(p.value(), 9000.0);
+  EXPECT_LE(p.value(), 10000.0);
+}
+
+TEST(P2, ConstantStream) {
+  P2Quantile p(0.9);
+  for (int i = 0; i < 1000; ++i) p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.value(), 7.0);
+}
+
+TEST(P2, NonFiniteIsAnError) {
+  P2Quantile p(0.9);
+  EXPECT_THROW(p.add(std::nan("")), PreconditionError);
+}
+
+}  // namespace
+}  // namespace monohids::stats

@@ -1,0 +1,76 @@
+#include "trace/activity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::trace {
+namespace {
+
+using util::from_seconds;
+using util::kMicrosPerDay;
+using util::kMicrosPerHour;
+
+util::Timestamp at(int day, double hour) {
+  return day * kMicrosPerDay + static_cast<util::Timestamp>(hour * kMicrosPerHour);
+}
+
+TEST(Activity, WorkHoursAreBusierThanNight) {
+  const DiurnalProfile p;
+  const double work = activity_at(p, at(1, 11.0));     // Tuesday 11:00
+  const double night = activity_at(p, at(1, 3.0));     // Tuesday 03:00
+  EXPECT_GT(work, 5.0 * night);
+}
+
+TEST(Activity, NightFloorIsNeverZero) {
+  const DiurnalProfile p;
+  for (double hour = 0.0; hour < 24.0; hour += 0.25) {
+    EXPECT_GE(activity_at(p, at(2, hour)), p.night_floor * 0.99);
+  }
+}
+
+TEST(Activity, EveningBumpExists) {
+  const DiurnalProfile p;
+  const double evening = activity_at(p, at(1, 20.5));
+  const double late_night = activity_at(p, at(1, 2.0));
+  EXPECT_GT(evening, late_night * 3.0);
+}
+
+TEST(Activity, WeekendIsDamped) {
+  const DiurnalProfile p;
+  const double tuesday = activity_at(p, at(1, 11.0));
+  const double saturday = activity_at(p, at(5, 11.0));
+  EXPECT_NEAR(saturday, tuesday * p.weekend_factor, 1e-9);
+}
+
+TEST(Activity, PhaseShiftMovesThePeak) {
+  DiurnalProfile early;
+  early.phase_hours = -2.0;  // everything two hours earlier
+  DiurnalProfile late;
+  late.phase_hours = 2.0;
+  // At 07:30 the early bird is already ramped up, the night owl is not.
+  EXPECT_GT(activity_at(early, at(1, 7.5)), activity_at(late, at(1, 7.5)));
+}
+
+TEST(Activity, ContinuousAcrossMidnight) {
+  const DiurnalProfile p;
+  const double before = activity_at(p, at(1, 23.99));
+  const double after = activity_at(p, at(2, 0.01));
+  EXPECT_NEAR(before, after, 0.02);
+}
+
+TEST(Activity, WeeklyPeriodicity) {
+  const DiurnalProfile p;
+  for (double hour : {3.0, 11.0, 20.5}) {
+    EXPECT_NEAR(activity_at(p, at(1, hour)), activity_at(p, at(8, hour)), 1e-12);
+  }
+}
+
+TEST(Activity, BoundedAboveByWorkPlusFloor) {
+  DiurnalProfile p;
+  p.work_level = 1.2;
+  for (double hour = 0.0; hour < 24.0; hour += 0.1) {
+    EXPECT_LE(activity_at(p, at(1, hour)), p.work_level + p.night_floor + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace monohids::trace

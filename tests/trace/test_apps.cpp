@@ -1,0 +1,158 @@
+// Consistency contract: emit_session_packets(), run through the real flow
+// table and extractor, must reproduce the SessionFootprint the bin-level
+// generator would count. This is what licenses the fast statistical path.
+#include "trace/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "features/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::trace {
+namespace {
+
+using features::FeatureKind;
+
+const net::Ipv4Address kHost = net::Ipv4Address::parse("10.10.0.1");
+
+DestinationPools small_pools() {
+  DestinationPools pools;
+  pools.dns_server = net::Ipv4Address::parse("10.10.255.2");
+  pools.mail_server = net::Ipv4Address::parse("10.10.255.3");
+  for (int i = 0; i < 64; ++i) {
+    pools.web_servers.push_back(net::Ipv4Address(0x5D000000u + i));  // 93.0.0.x
+    pools.peer_pool.push_back(net::Ipv4Address(0x4E000000u + i));    // 78.0.0.x
+  }
+  return pools;
+}
+
+struct ExtractedCounts {
+  double tcp = 0, udp = 0, dns = 0, http = 0, syn = 0;
+};
+
+/// Renders one session as packets and extracts total feature counts.
+ExtractedCounts render_and_extract(AppKind kind, const SessionFootprint& footprint,
+                                   util::Xoshiro256& rng) {
+  std::vector<net::PacketRecord> packets;
+  emit_session_packets(kind, footprint, 1000, kHost, small_pools(), rng, packets);
+  std::sort(packets.begin(), packets.end());
+
+  features::PipelineConfig config;
+  config.horizon = util::kMicrosPerWeek;
+  const auto result = features::extract_features(kHost, packets, config);
+
+  ExtractedCounts counts;
+  const auto total = [&](FeatureKind f) {
+    double acc = 0;
+    const auto& s = result.matrix.of(f);
+    for (std::size_t b = 0; b < s.bin_count(); ++b) acc += s.at(b);
+    return acc;
+  };
+  counts.tcp = total(FeatureKind::TcpConnections);
+  counts.udp = total(FeatureKind::UdpConnections);
+  counts.dns = total(FeatureKind::DnsConnections);
+  counts.http = total(FeatureKind::HttpConnections);
+  counts.syn = total(FeatureKind::TcpSyn);
+  return counts;
+}
+
+class AppConsistency : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AppConsistency, PacketsReproduceFootprint) {
+  const AppKind kind = GetParam();
+  util::Xoshiro256 footprint_rng(101);
+  util::Xoshiro256 packet_rng(202);
+  for (int trial = 0; trial < 25; ++trial) {
+    const SessionFootprint f = sample_footprint(kind, footprint_rng);
+    const ExtractedCounts c = render_and_extract(kind, f, packet_rng);
+    EXPECT_DOUBLE_EQ(c.tcp, f.tcp_connections) << name_of(kind) << " trial " << trial;
+    EXPECT_DOUBLE_EQ(c.udp, f.udp_connections) << name_of(kind);
+    EXPECT_DOUBLE_EQ(c.dns, f.dns_connections) << name_of(kind);
+    EXPECT_DOUBLE_EQ(c.http, f.http_connections) << name_of(kind);
+    EXPECT_DOUBLE_EQ(c.syn, f.syn_packets) << name_of(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppConsistency, ::testing::ValuesIn(kAllApps),
+                         [](const ::testing::TestParamInfo<AppKind>& info) {
+                           return std::string(name_of(info.param));
+                         });
+
+TEST(AppFootprints, WebAlwaysHasObjectsAndDns) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = sample_footprint(AppKind::Web, rng);
+    EXPECT_GE(f.tcp_connections, 1u);
+    EXPECT_GE(f.dns_connections, 1u);
+    EXPECT_GE(f.syn_packets, f.tcp_connections);  // retransmissions only add
+    EXPECT_LE(f.http_connections, f.tcp_connections);
+    EXPECT_EQ(f.udp_connections, f.dns_connections);
+  }
+}
+
+TEST(AppFootprints, WebObjectCountsAreHeavyTailed) {
+  util::Xoshiro256 rng(8);
+  std::uint32_t max_objects = 0;
+  double total = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const auto f = sample_footprint(AppKind::Web, rng);
+    max_objects = std::max(max_objects, f.tcp_connections);
+    total += f.tcp_connections;
+  }
+  const double mean = total / n;
+  EXPECT_GT(max_objects, mean * 8);  // tail far beyond the mean
+}
+
+TEST(AppFootprints, P2pTouchesManyDistinctPeers) {
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = sample_footprint(AppKind::P2p, rng);
+    EXPECT_EQ(f.distinct_draws, f.udp_connections);
+    EXPECT_EQ(f.tcp_connections, 0u);
+  }
+}
+
+TEST(AppFootprints, UpdateConcentratesOnFewDestinations) {
+  util::Xoshiro256 rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = sample_footprint(AppKind::Update, rng);
+    EXPECT_GE(f.tcp_connections, 4u);
+    EXPECT_LE(f.distinct_draws, 2u);
+  }
+}
+
+TEST(AppFootprints, MailIsASingleConnection) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = sample_footprint(AppKind::Mail, rng);
+    EXPECT_EQ(f.tcp_connections, 1u);
+    EXPECT_EQ(f.syn_packets, 1u);
+  }
+}
+
+TEST(AppPackets, UpdateUsesAtMostTwoServers) {
+  util::Xoshiro256 rng(12);
+  const auto f = sample_footprint(AppKind::Update, rng);
+  std::vector<net::PacketRecord> packets;
+  emit_session_packets(AppKind::Update, f, 0, kHost, small_pools(), rng, packets);
+  std::unordered_set<net::Ipv4Address> dsts;
+  for (const auto& p : packets) {
+    if (p.tuple.src_ip == kHost && p.tuple.protocol == net::Protocol::Tcp) {
+      dsts.insert(p.tuple.dst_ip);
+    }
+  }
+  EXPECT_LE(dsts.size(), 2u);
+}
+
+TEST(AppNames, AreStable) {
+  EXPECT_EQ(name_of(AppKind::Web), "web");
+  EXPECT_EQ(name_of(AppKind::P2p), "p2p");
+  EXPECT_EQ(kAppCount, 6u);
+}
+
+}  // namespace
+}  // namespace monohids::trace

@@ -1,0 +1,173 @@
+// Statistical properties of the trace generator at population scale: the
+// modelling mechanisms DESIGN.md documents must actually show up in the
+// generated data, feature by feature.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "trace/generator.hpp"
+#include "trace/population.hpp"
+
+namespace monohids::trace {
+namespace {
+
+using features::FeatureKind;
+
+struct Corpus {
+  std::vector<UserProfile> users;
+  std::vector<features::FeatureMatrix> matrices;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    Corpus corpus;
+    PopulationConfig pop;
+    pop.user_count = 120;
+    pop.seed = 11;
+    corpus.users = generate_population(pop);
+    const TraceGenerator gen{GeneratorConfig{}};
+    for (const auto& u : corpus.users) {
+      corpus.matrices.push_back(gen.generate_features(u));
+    }
+    return corpus;
+  }();
+  return c;
+}
+
+double weekly_total(const features::FeatureMatrix& m, FeatureKind f, std::uint32_t week) {
+  const auto slice = m.of(f).week_slice(week);
+  return std::accumulate(slice.begin(), slice.end(), 0.0);
+}
+
+TEST(GeneratorProperties, WeeklyTrendShowsInPopulationTotals) {
+  // The configured ~0.84/week decline must appear in aggregate TCP volume.
+  double week0 = 0, week4 = 0;
+  for (const auto& m : corpus().matrices) {
+    week0 += weekly_total(m, FeatureKind::TcpConnections, 0);
+    week4 += weekly_total(m, FeatureKind::TcpConnections, 4);
+  }
+  const double expected = std::pow(0.84, 4);
+  const double measured = week4 / week0;
+  EXPECT_NEAR(measured, expected, 0.25);
+  EXPECT_LT(measured, 0.85);
+}
+
+TEST(GeneratorProperties, PerUserDriftMatchesProfileMultipliers) {
+  // For a fixed user, weekly totals should track the profile's drift
+  // multipliers (same app mix, different weeks).
+  const auto& u = corpus().users[5];
+  const auto& m = corpus().matrices[5];
+  const double base = weekly_total(m, FeatureKind::TcpConnections, 0) /
+                      u.drift(0, AppKind::Web);
+  for (std::uint32_t w = 1; w < 5; ++w) {
+    const double predicted = base * u.drift(w, AppKind::Web);
+    const double actual = weekly_total(m, FeatureKind::TcpConnections, w);
+    EXPECT_NEAR(actual, predicted, 0.35 * predicted) << "week " << w;
+  }
+}
+
+TEST(GeneratorProperties, DeveloperArchetypeIsTcpHeavyUdpLight) {
+  // Compare archetype cohorts on their TCP:UDP weekly ratio.
+  double dev_ratio = 0, media_ratio = 0;
+  int dev_n = 0, media_n = 0;
+  for (std::size_t i = 0; i < corpus().users.size(); ++i) {
+    const double tcp = weekly_total(corpus().matrices[i], FeatureKind::TcpConnections, 0);
+    const double udp = weekly_total(corpus().matrices[i], FeatureKind::UdpConnections, 0);
+    if (udp <= 0) continue;
+    const double ratio = tcp / udp;
+    if (corpus().users[i].archetype == Archetype::Developer) {
+      dev_ratio += ratio;
+      ++dev_n;
+    } else if (corpus().users[i].archetype == Archetype::Media) {
+      media_ratio += ratio;
+      ++media_n;
+    }
+  }
+  ASSERT_GT(dev_n, 0);
+  ASSERT_GT(media_n, 0);
+  EXPECT_GT(dev_ratio / dev_n, 3.0 * (media_ratio / media_n));
+}
+
+TEST(GeneratorProperties, ResolverCacheCompressesDnsSpread) {
+  // Heavy hosts' DNS volume grows sublinearly: DNS/TCP ratio shrinks with
+  // intensity.
+  double light_ratio = 0, heavy_ratio = 0;
+  int light_n = 0, heavy_n = 0;
+  for (std::size_t i = 0; i < corpus().users.size(); ++i) {
+    const double tcp = weekly_total(corpus().matrices[i], FeatureKind::TcpConnections, 0);
+    const double dns = weekly_total(corpus().matrices[i], FeatureKind::DnsConnections, 0);
+    if (tcp <= 0) continue;
+    if (corpus().users[i].intensity < 1.5) {
+      light_ratio += dns / tcp;
+      ++light_n;
+    } else if (corpus().users[i].intensity > 6.0) {
+      heavy_ratio += dns / tcp;
+      ++heavy_n;
+    }
+  }
+  ASSERT_GT(light_n, 0);
+  ASSERT_GT(heavy_n, 0);
+  EXPECT_GT(light_ratio / light_n, 2.0 * (heavy_ratio / heavy_n));
+}
+
+TEST(GeneratorProperties, SynCountsDominateTcpConnections) {
+  // Invariant: every connection needs at least one SYN; retransmissions can
+  // only add. Holds bin by bin.
+  for (int i : {0, 10, 50}) {
+    const auto& m = corpus().matrices[static_cast<std::size_t>(i)];
+    const auto& tcp = m.of(FeatureKind::TcpConnections);
+    const auto& syn = m.of(FeatureKind::TcpSyn);
+    for (std::size_t b = 0; b < tcp.bin_count(); ++b) {
+      ASSERT_GE(syn.at(b), tcp.at(b)) << "user " << i << " bin " << b;
+    }
+  }
+}
+
+TEST(GeneratorProperties, HttpIsASubsetOfTcp) {
+  for (int i : {1, 20, 77}) {
+    const auto& m = corpus().matrices[static_cast<std::size_t>(i)];
+    const auto& tcp = m.of(FeatureKind::TcpConnections);
+    const auto& http = m.of(FeatureKind::HttpConnections);
+    for (std::size_t b = 0; b < tcp.bin_count(); ++b) {
+      ASSERT_LE(http.at(b), tcp.at(b));
+    }
+  }
+}
+
+TEST(GeneratorProperties, DistinctBoundedByConnectionAttempts) {
+  // You cannot touch more distinct destinations than you made connections
+  // (TCP + UDP), since every destination draw rides a connection.
+  for (int i : {2, 33, 99}) {
+    const auto& m = corpus().matrices[static_cast<std::size_t>(i)];
+    for (std::size_t b = 0; b < m.series.front().bin_count(); ++b) {
+      const double attempts = m.of(FeatureKind::TcpConnections).at(b) +
+                              m.of(FeatureKind::UdpConnections).at(b);
+      ASSERT_LE(m.of(FeatureKind::DistinctConnections).at(b), attempts + 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorProperties, WeekendsAreQuieterThanWeekdays) {
+  double weekday = 0, weekend = 0;
+  std::size_t weekday_n = 0, weekend_n = 0;
+  for (const auto& m : corpus().matrices) {
+    const auto& tcp = m.of(FeatureKind::TcpConnections);
+    for (std::size_t b = 0; b < 672; ++b) {
+      const auto t = tcp.grid().bin_start(b);
+      if (util::is_weekend(t)) {
+        weekend += tcp.at(b);
+        ++weekend_n;
+      } else {
+        weekday += tcp.at(b);
+        ++weekday_n;
+      }
+    }
+  }
+  EXPECT_GT(weekday / static_cast<double>(weekday_n),
+            2.0 * weekend / static_cast<double>(weekend_n));
+}
+
+}  // namespace
+}  // namespace monohids::trace

@@ -1,0 +1,164 @@
+#include "trace/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "features/pipeline.hpp"
+#include "trace/generator.hpp"
+#include "trace/population.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+namespace {
+
+using net::Ipv4Address;
+using net::PacketRecord;
+using net::Protocol;
+using net::TcpFlags;
+
+std::vector<PacketRecord> sample_packets() {
+  const net::FiveTuple tcp{Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("93.1.2.3"),
+                           50000, 443, Protocol::Tcp};
+  const net::FiveTuple udp{Ipv4Address::parse("10.0.0.1"),
+                           Ipv4Address::parse("10.10.255.2"), 50001, 53, Protocol::Udp};
+  const net::FiveTuple icmp{Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("8.8.8.8"),
+                            0, 0, Protocol::Icmp};
+  return {
+      {1'500'000, tcp, TcpFlags::Syn, 0},
+      {1'520'000, tcp.reversed(), TcpFlags::Syn | TcpFlags::Ack, 0},
+      {1'540'000, tcp, TcpFlags::Ack | TcpFlags::Psh, 400},
+      {2'000'000, udp, TcpFlags::None, 64},
+      {3'000'000, icmp, TcpFlags::None, 32},
+  };
+}
+
+TEST(Pcap, RoundTripPreservesEverything) {
+  const auto original = sample_packets();
+  std::stringstream buffer;
+  write_pcap(buffer, original);
+  const auto result = read_pcap(buffer);
+
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_EQ(result.skipped_non_ipv4, 0u);
+  EXPECT_EQ(result.truncated, 0u);
+  EXPECT_FALSE(result.byte_swapped);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(result.packets[i], original[i]) << "packet " << i;
+  }
+}
+
+TEST(Pcap, RoundTripOfGeneratedTraffic) {
+  GeneratorConfig config;
+  config.weeks = 1;
+  const TraceGenerator gen(config);
+  PopulationConfig pop;
+  pop.user_count = 2;
+  const auto users = generate_population(pop);
+  const auto original = gen.generate_packets(users[1], 0, util::kMicrosPerDay / 6);
+  ASSERT_FALSE(original.empty());
+
+  std::stringstream buffer;
+  write_pcap(buffer, original);
+  const auto result = read_pcap(buffer);
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_EQ(result.packets, original);
+}
+
+TEST(Pcap, ChecksumMatchesKnownVector) {
+  // RFC 1071 example header (from the IPv4 checksum literature).
+  const std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40,
+                                 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                 0x00, 0xc7};
+  EXPECT_EQ(ipv4_header_checksum(header, sizeof(header)), 0xb861);
+}
+
+TEST(Pcap, WrittenChecksumsValidate) {
+  // A header including its own checksum must sum to zero (checksum of the
+  // checksummed header is 0).
+  std::stringstream buffer;
+  write_pcap(buffer, sample_packets());
+  const std::string bytes = buffer.str();
+  // first record: 24 global + 16 record header, then 14 ethernet bytes.
+  const auto* ip = reinterpret_cast<const std::uint8_t*>(bytes.data()) + 24 + 16 + 14;
+  EXPECT_EQ(ipv4_header_checksum(ip, 20), 0x0000);
+}
+
+TEST(Pcap, ReadsByteSwappedFiles) {
+  // Write a file, then byte-swap its global and record headers by hand to
+  // simulate a capture from an opposite-endian machine.
+  std::stringstream buffer;
+  write_pcap(buffer, {sample_packets()[0]});
+  std::string bytes = buffer.str();
+  auto swap32 = [&](std::size_t pos) {
+    std::swap(bytes[pos], bytes[pos + 3]);
+    std::swap(bytes[pos + 1], bytes[pos + 2]);
+  };
+  for (std::size_t pos = 0; pos < 24; pos += 4) swap32(pos);  // global header
+  for (std::size_t pos = 24; pos < 40; pos += 4) swap32(pos);  // record header
+
+  std::stringstream swapped(bytes);
+  const auto result = read_pcap(swapped);
+  EXPECT_TRUE(result.byte_swapped);
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.packets[0], sample_packets()[0]);
+}
+
+TEST(Pcap, SkipsNonIpv4Frames) {
+  std::stringstream buffer;
+  write_pcap(buffer, {sample_packets()[0]});
+  std::string bytes = buffer.str();
+  // Corrupt the ethertype of the only frame to ARP (0x0806).
+  bytes[24 + 16 + 12] = 0x08;
+  bytes[24 + 16 + 13] = 0x06;
+  std::stringstream corrupted(bytes);
+  const auto result = read_pcap(corrupted);
+  EXPECT_TRUE(result.packets.empty());
+  EXPECT_EQ(result.skipped_non_ipv4, 1u);
+}
+
+TEST(Pcap, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a pcap file, not even close");
+  EXPECT_THROW((void)read_pcap(garbage), InputError);
+
+  std::stringstream empty("");
+  EXPECT_THROW((void)read_pcap(empty), InputError);
+
+  std::stringstream buffer;
+  write_pcap(buffer, sample_packets());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 7);  // cut into the last record body
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_pcap(truncated), InputError);
+}
+
+TEST(Pcap, FeaturePipelineRunsOnImportedCapture) {
+  // End-to-end adoption path: synthetic trace -> pcap -> import -> features.
+  GeneratorConfig config;
+  config.weeks = 1;
+  const TraceGenerator gen(config);
+  PopulationConfig pop;
+  pop.user_count = 1;
+  const auto users = generate_population(pop);
+  const auto packets = gen.generate_packets(users[0], 0, util::kMicrosPerDay / 12);
+
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  const auto imported = read_pcap(buffer);
+
+  features::PipelineConfig pipeline_config;
+  pipeline_config.horizon = util::kMicrosPerDay;
+  const auto direct = features::extract_features(users[0].address, packets,
+                                                 pipeline_config);
+  const auto via_pcap = features::extract_features(users[0].address, imported.packets,
+                                                   pipeline_config);
+  for (features::FeatureKind f : features::kAllFeatures) {
+    for (std::size_t b = 0; b < 96; ++b) {
+      ASSERT_DOUBLE_EQ(via_pcap.matrix.of(f).at(b), direct.matrix.of(f).at(b))
+          << features::name_of(f) << " bin " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monohids::trace

@@ -1,0 +1,169 @@
+#include "trace/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace monohids::trace {
+namespace {
+
+PopulationConfig small_config(std::uint32_t n = 100, std::uint64_t seed = 42) {
+  PopulationConfig config;
+  config.user_count = n;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Population, DeterministicForAFixedSeed) {
+  const auto a = generate_population(small_config());
+  const auto b = generate_population(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_DOUBLE_EQ(a[i].intensity, b[i].intensity);
+    EXPECT_DOUBLE_EQ(a[i].rate_of(AppKind::Web), b[i].rate_of(AppKind::Web));
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  const auto a = generate_population(small_config(100, 1));
+  const auto b = generate_population(small_config(100, 2));
+  int identical = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].intensity == b[i].intensity) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(Population, UniqueAddressesAndIds) {
+  const auto users = generate_population(small_config(200));
+  std::set<std::uint32_t> ids, addrs;
+  for (const auto& u : users) {
+    ids.insert(u.user_id);
+    addrs.insert(u.address.value());
+  }
+  EXPECT_EQ(ids.size(), 200u);
+  EXPECT_EQ(addrs.size(), 200u);
+}
+
+TEST(Population, HeavyFractionApproximatelyRespected) {
+  const auto users = generate_population(small_config(1000));
+  const auto heavy = static_cast<double>(
+      std::count_if(users.begin(), users.end(),
+                    [](const UserProfile& u) { return u.heavy_class; }));
+  EXPECT_NEAR(heavy / 1000.0, 0.15, 0.04);
+}
+
+TEST(Population, IntensitySpansAboutTwoDecades) {
+  const auto users = generate_population(small_config(350));
+  double lo = 1e18, hi = 0;
+  for (const auto& u : users) {
+    lo = std::min(lo, u.intensity);
+    hi = std::max(hi, u.intensity);
+  }
+  EXPECT_GE(std::log10(hi / lo), 1.5);
+  EXPECT_GE(lo, 0.3);  // even idle hosts chatter
+}
+
+TEST(Population, ExtremeHostsExistAndAreBulkHeavy) {
+  const auto users = generate_population(small_config(350));
+  std::vector<double> intensities;
+  for (const auto& u : users) intensities.push_back(u.intensity);
+  std::sort(intensities.begin(), intensities.end());
+  const double median = intensities[175];
+  // ~4 promoted extremes dominate the tail.
+  EXPECT_GT(intensities.back(), 20.0 * median);
+  // Extremes are sustained-load machines: episode amplitude reset to 1.
+  const auto top = std::max_element(users.begin(), users.end(),
+                                    [](const UserProfile& a, const UserProfile& b) {
+                                      return a.intensity < b.intensity;
+                                    });
+  EXPECT_DOUBLE_EQ(top->episode_amplitude, 1.0);
+}
+
+TEST(Population, HeavyUsersAreEpisodicallyHeavy) {
+  const auto users = generate_population(small_config(350));
+  for (const auto& u : users) {
+    if (u.heavy_class) {
+      EXPECT_GE(u.episode_amplitude, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(u.episode_amplitude, 1.0);
+    }
+  }
+}
+
+TEST(Population, AllAppRatesArePositive) {
+  const auto users = generate_population(small_config(200));
+  for (const auto& u : users) {
+    for (AppKind app : kAllApps) {
+      EXPECT_GT(u.rate_of(app), 0.0) << "user " << u.user_id << " app " << name_of(app);
+    }
+  }
+}
+
+TEST(Population, WeeklyDriftHasConfiguredHorizonAndTrend) {
+  PopulationConfig config = small_config(50);
+  config.weeks = 5;
+  config.weekly_trend = 0.8;
+  const auto users = generate_population(config);
+  for (const auto& u : users) {
+    ASSERT_EQ(u.weekly_drift.size(), 5u);
+    // Past-horizon queries fall back to 1.
+    EXPECT_DOUBLE_EQ(u.drift(99, AppKind::Web), 1.0);
+  }
+  // Mean drift should decay roughly with the trend across the population.
+  double wk0 = 0, wk4 = 0;
+  for (const auto& u : users) {
+    wk0 += u.drift(0, AppKind::Web);
+    wk4 += u.drift(4, AppKind::Web);
+  }
+  EXPECT_LT(wk4, wk0 * std::pow(0.8, 4) * 1.4);
+}
+
+TEST(Population, DiurnalParametersWithinModeledRanges) {
+  const auto users = generate_population(small_config(200));
+  for (const auto& u : users) {
+    EXPECT_GE(u.diurnal.phase_hours, -2.0);
+    EXPECT_LE(u.diurnal.phase_hours, 2.0);
+    EXPECT_GT(u.diurnal.night_floor, 0.0);
+    EXPECT_LT(u.diurnal.weekend_factor, 1.0);
+  }
+}
+
+TEST(Population, EmptyPopulationIsAnError) {
+  PopulationConfig config;
+  config.user_count = 0;
+  EXPECT_THROW((void)generate_population(config), PreconditionError);
+}
+
+TEST(Population, DestinationPoolScalesWithIntensity) {
+  const auto users = generate_population(small_config(350));
+  double light_total = 0, heavy_total = 0;
+  int light_n = 0, heavy_n = 0;
+  for (const auto& u : users) {
+    if (u.intensity < 1.0) {
+      light_total += u.destination_pool_size;
+      ++light_n;
+    } else if (u.intensity > 10.0) {
+      heavy_total += u.destination_pool_size;
+      ++heavy_n;
+    }
+  }
+  ASSERT_GT(light_n, 0);
+  ASSERT_GT(heavy_n, 0);
+  EXPECT_GT(heavy_total / heavy_n, light_total / light_n);
+}
+
+TEST(Population, BaseRatesExposeAllApps) {
+  const auto rates = base_session_rates();
+  for (AppKind app : kAllApps) EXPECT_GT(rates[index_of(app)], 0.0);
+  // Web must dominate P2P in the enterprise mix.
+  EXPECT_GT(rates[index_of(AppKind::Web)], rates[index_of(AppKind::P2p)]);
+}
+
+}  // namespace
+}  // namespace monohids::trace

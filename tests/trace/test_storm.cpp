@@ -1,0 +1,150 @@
+#include "trace/storm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "features/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+namespace {
+
+using features::FeatureKind;
+using util::kMicrosPerDay;
+using util::kMicrosPerWeek;
+
+TEST(Storm, Deterministic) {
+  const StormConfig config;
+  const auto a = generate_storm_features(config);
+  const auto b = generate_storm_features(config);
+  for (FeatureKind f : features::kAllFeatures) {
+    for (std::size_t bin = 0; bin < a.of(f).bin_count(); ++bin) {
+      ASSERT_DOUBLE_EQ(a.of(f).at(bin), b.of(f).at(bin));
+    }
+  }
+}
+
+TEST(Storm, BotsDoNotSleep) {
+  // P2P chatter keeps distinct-destination counts up around the clock —
+  // unlike user traffic there is no diurnal dip.
+  const auto m = generate_storm_features({});
+  const auto& distinct = m.of(FeatureKind::DistinctConnections);
+  const auto grid = distinct.grid();
+  double night = 0, day = 0;
+  int night_n = 0, day_n = 0;
+  for (std::size_t b = 0; b < distinct.bin_count(); ++b) {
+    const double hour = util::hour_of_day(grid.bin_start(b));
+    if (hour >= 1 && hour < 5) {
+      night += distinct.at(b);
+      ++night_n;
+    } else if (hour >= 10 && hour < 16) {
+      day += distinct.at(b);
+      ++day_n;
+    }
+  }
+  EXPECT_NEAR(night / night_n, day / day_n, 0.35 * (day / day_n));
+}
+
+TEST(Storm, EveryBinHasP2pFootprint) {
+  const auto m = generate_storm_features({});
+  const auto& udp = m.of(FeatureKind::UdpConnections);
+  std::size_t zero_bins = 0;
+  for (std::size_t b = 0; b < udp.bin_count(); ++b) {
+    if (udp.at(b) == 0.0) ++zero_bins;
+  }
+  EXPECT_LT(zero_bins, udp.bin_count() / 100);
+}
+
+TEST(Storm, SpamWavesAreBursty) {
+  // TCP (SMTP relay) activity is on/off: many zero bins, some intense ones.
+  const auto m = generate_storm_features({});
+  const auto& tcp = m.of(FeatureKind::TcpConnections);
+  std::size_t zero_bins = 0;
+  double max_bin = 0;
+  for (std::size_t b = 0; b < tcp.bin_count(); ++b) {
+    if (tcp.at(b) == 0.0) ++zero_bins;
+    max_bin = std::max(max_bin, tcp.at(b));
+  }
+  EXPECT_GT(zero_bins, tcp.bin_count() / 3);
+  EXPECT_GT(max_bin, 50.0);
+}
+
+TEST(Storm, NoHttpFootprint) {
+  const auto m = generate_storm_features({});
+  const auto& http = m.of(FeatureKind::HttpConnections);
+  for (std::size_t b = 0; b < http.bin_count(); ++b) {
+    ASSERT_DOUBLE_EQ(http.at(b), 0.0);
+  }
+}
+
+TEST(Storm, SynInflatedOverConnections) {
+  const auto m = generate_storm_features({});
+  double tcp = 0, syn = 0;
+  for (std::size_t b = 0; b < m.of(FeatureKind::TcpConnections).bin_count(); ++b) {
+    tcp += m.of(FeatureKind::TcpConnections).at(b);
+    syn += m.of(FeatureKind::TcpSyn).at(b);
+  }
+  ASSERT_GT(tcp, 0.0);
+  EXPECT_GT(syn, tcp * 1.1);  // dead MXs and scans retransmit
+}
+
+TEST(Storm, PacketsMatchFeatureScaleThroughPipeline) {
+  // Render one day of zombie packets, extract features through the real
+  // pipeline, and compare against the bin-level rendering of the same day.
+  StormConfig config;
+  const auto zombie = net::Ipv4Address::parse("10.10.0.99");
+  const auto packets = generate_storm_packets(config, zombie, 0, kMicrosPerDay);
+  ASSERT_FALSE(packets.empty());
+
+  features::PipelineConfig pipeline_config;
+  pipeline_config.horizon = kMicrosPerDay;
+  const auto extracted = features::extract_features(zombie, packets, pipeline_config);
+  const auto direct = generate_storm_features(config);
+
+  const std::size_t day_bins = 96;
+  double extracted_udp = 0, direct_udp = 0;
+  for (std::size_t b = 0; b < day_bins; ++b) {
+    extracted_udp += extracted.matrix.of(FeatureKind::UdpConnections).at(b);
+    direct_udp += direct.of(FeatureKind::UdpConnections).at(b);
+  }
+  // Same stochastic process, independent draws: totals agree within 20%.
+  EXPECT_NEAR(extracted_udp, direct_udp, 0.2 * direct_udp);
+}
+
+TEST(Storm, PacketsAreOrderedAndSourced) {
+  const auto zombie = net::Ipv4Address::parse("10.10.0.99");
+  const auto packets = generate_storm_packets({}, zombie, 0, kMicrosPerDay / 4);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    ASSERT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+  }
+  std::size_t outbound = 0;
+  for (const auto& p : packets) {
+    if (p.tuple.src_ip == zombie) ++outbound;
+  }
+  EXPECT_GT(outbound, packets.size() / 2);
+}
+
+TEST(Storm, InvalidConfigsAreErrors) {
+  StormConfig config;
+  config.weeks = 0;
+  EXPECT_THROW((void)generate_storm_features(config), PreconditionError);
+  const auto zombie = net::Ipv4Address::parse("10.10.0.99");
+  EXPECT_THROW((void)generate_storm_packets({}, zombie, 100, 100), PreconditionError);
+  EXPECT_THROW((void)generate_storm_packets({}, zombie, 0, 2 * kMicrosPerWeek),
+               PreconditionError);
+}
+
+TEST(Storm, DistinctDestinationsAreMostlyUnique) {
+  // The peer universe is huge, so distinct counts track raw probe volume.
+  const auto m = generate_storm_features({});
+  double udp = 0, distinct = 0;
+  for (std::size_t b = 0; b < m.of(FeatureKind::UdpConnections).bin_count(); ++b) {
+    udp += m.of(FeatureKind::UdpConnections).at(b);
+    distinct += m.of(FeatureKind::DistinctConnections).at(b);
+  }
+  EXPECT_GT(distinct, 0.8 * udp);
+}
+
+}  // namespace
+}  // namespace monohids::trace

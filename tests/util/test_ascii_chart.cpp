@@ -1,0 +1,100 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+namespace {
+
+TEST(LineChart, RendersSeriesGlyphsAndLegend) {
+  Series s{"detection", {0, 1, 2, 3}, {0.0, 0.5, 0.8, 1.0}};
+  ChartOptions opt;
+  const std::string out = render_line_chart({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("detection"), std::string::npos);
+}
+
+TEST(LineChart, MultipleSeriesUseDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0.0, 1.0}};
+  Series b{"b", {0, 1}, {1.0, 0.0}};
+  const std::string out = render_line_chart({a, b}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, LogScaleDropsNonPositiveValues) {
+  Series s{"s", {0.0, 1.0, 10.0}, {-5.0, 1.0, 100.0}};
+  ChartOptions opt;
+  opt.x_scale = Scale::Log10;
+  opt.y_scale = Scale::Log10;
+  const std::string out = render_line_chart({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);  // drew the positive points
+}
+
+TEST(LineChart, AllUndrawableYieldsPlaceholder) {
+  Series s{"s", {0.0}, {-1.0}};
+  ChartOptions opt;
+  opt.y_scale = Scale::Log10;
+  opt.x_scale = Scale::Log10;
+  EXPECT_EQ(render_line_chart({s}, opt), "(no drawable points)\n");
+}
+
+TEST(LineChart, TooSmallCanvasIsAnError) {
+  ChartOptions opt;
+  opt.width = 2;
+  EXPECT_THROW((void)render_line_chart({}, opt), PreconditionError);
+}
+
+TEST(LineChart, MismatchedXYLengthsAreAnError) {
+  Series s{"s", {0, 1}, {0}};
+  EXPECT_THROW((void)render_line_chart({s}, {}), PreconditionError);
+}
+
+TEST(LineChart, DegenerateSinglePointStillRenders) {
+  Series s{"s", {5.0}, {5.0}};
+  const std::string out = render_line_chart({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Scatter, RendersPoints) {
+  Series s{"users", {1, 2, 3}, {3, 1, 2}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Boxplot, RendersBoxAndMedian) {
+  LabelledBox box{"homogeneous", {1.0, 2.0, 3.0, 4.0, 5.0, 2}};
+  const std::string out = render_boxplot({box}, {});
+  EXPECT_NE(out.find('#'), std::string::npos);   // median
+  EXPECT_NE(out.find('='), std::string::npos);   // box body
+  EXPECT_NE(out.find("outliers: 2"), std::string::npos);
+  EXPECT_NE(out.find("homogeneous"), std::string::npos);
+}
+
+TEST(Boxplot, SharedAxisAlignsLabels) {
+  LabelledBox a{"short", {0, 1, 2, 3, 4, 0}};
+  LabelledBox b{"a-much-longer-label", {0, 1, 2, 3, 4, 0}};
+  const std::string out = render_boxplot({a, b}, {});
+  // Both data lines should start their '|' at the same column.
+  const auto first = out.find('|');
+  const auto second_line_start = out.find('\n') + 1;
+  const auto second = out.find('|', second_line_start);
+  EXPECT_EQ(first, second - second_line_start);
+}
+
+TEST(Boxplot, EmptyInputIsAnError) {
+  EXPECT_THROW((void)render_boxplot({}, {}), PreconditionError);
+}
+
+TEST(Boxplot, LogScaleHandlesWideRanges) {
+  LabelledBox box{"wide", {1.0, 10.0, 100.0, 1000.0, 10000.0, 0}};
+  ChartOptions opt;
+  opt.x_scale = Scale::Log10;
+  const std::string out = render_boxplot({box}, opt);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace monohids::util

@@ -1,0 +1,128 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags("test program");
+  flags.add_int("users", 350, "population size");
+  flags.add_double("weight", 0.4, "utility weight");
+  flags.add_string("feature", "num-TCP-connections", "feature name");
+  flags.add_bool("verbose", false, "enable logging");
+  return flags;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  auto flags = make_flags();
+  auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("users"), 350);
+  EXPECT_DOUBLE_EQ(flags.get_double("weight"), 0.4);
+  EXPECT_EQ(flags.get_string("feature"), "num-TCP-connections");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--users=42", "--weight=0.9", "--feature=num-UDP-connections"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("users"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("weight"), 0.9);
+  EXPECT_EQ(flags.get_string("feature"), "num-UDP-connections");
+}
+
+TEST(Cli, SpaceSyntax) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--users", "17"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("users"), 17);
+}
+
+TEST(Cli, BareBooleanEnables) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--verbose=true"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+
+  auto flags2 = make_flags();
+  auto argv2 = argv_of({"--verbose=0"});
+  ASSERT_TRUE(flags2.parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(Cli, NegativeNumbers) {
+  CliFlags flags("t");
+  flags.add_int("offset", 0, "offset");
+  flags.add_double("bias", 0.0, "bias");
+  auto argv = argv_of({"--offset=-5", "--bias=-2.5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("offset"), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("bias"), -2.5);
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--userz=5"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()), InputError);
+}
+
+TEST(Cli, MalformedIntIsAnError) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--users=ten"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()), InputError);
+}
+
+TEST(Cli, MissingValueIsAnError) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--users"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()), InputError);
+}
+
+TEST(Cli, PositionalArgumentIsAnError) {
+  auto flags = make_flags();
+  auto argv = argv_of({"extra"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()), InputError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto flags = make_flags();
+  auto argv = argv_of({"--help"});
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test program"), std::string::npos);
+  EXPECT_NE(out.find("--users"), std::string::npos);
+}
+
+TEST(Cli, WrongTypeAccessIsAProgrammerError) {
+  auto flags = make_flags();
+  EXPECT_THROW((void)flags.get_int("weight"), PreconditionError);
+  EXPECT_THROW((void)flags.get_bool("nonexistent"), PreconditionError);
+}
+
+TEST(Cli, UsageListsDefaults) {
+  auto flags = make_flags();
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("default: 350"), std::string::npos);
+  EXPECT_NE(usage.find("default: 0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace monohids::util

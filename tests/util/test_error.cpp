@@ -1,0 +1,56 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids {
+namespace {
+
+TEST(Error, ExpectThrowsPreconditionErrorWithContext) {
+  try {
+    MONOHIDS_EXPECT(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsureThrowsInputError) {
+  EXPECT_THROW(MONOHIDS_ENSURE(false, "bad input"), InputError);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(MONOHIDS_EXPECT(true, "fine"));
+  EXPECT_NO_THROW(MONOHIDS_ENSURE(2 + 2 == 4, "fine"));
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  // Callers can catch all library errors with one handler.
+  EXPECT_THROW(
+      {
+        try {
+          MONOHIDS_ENSURE(false, "x");
+        } catch (const Error&) {
+          throw;
+        }
+      },
+      Error);
+  static_assert(std::is_base_of_v<std::runtime_error, Error>);
+  static_assert(std::is_base_of_v<Error, PreconditionError>);
+  static_assert(std::is_base_of_v<Error, InputError>);
+}
+
+TEST(Error, ConditionOnlyEvaluatedOnce) {
+  int calls = 0;
+  auto check = [&] {
+    ++calls;
+    return true;
+  };
+  MONOHIDS_EXPECT(check(), "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace monohids

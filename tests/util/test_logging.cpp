@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, ParseAcceptsAllLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, ParseRejectsUnknownLevel) {
+  EXPECT_THROW((void)parse_log_level("verbose"), InputError);
+  EXPECT_THROW((void)parse_log_level(""), InputError);
+  EXPECT_THROW((void)parse_log_level("WARN"), InputError);  // case-sensitive
+}
+
+TEST_F(LoggingTest, DisabledLevelSkipsMessageEvaluation) {
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  MONOHIDS_LOG(Debug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  MONOHIDS_LOG(Error, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace monohids::util

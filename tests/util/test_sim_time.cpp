@@ -1,0 +1,68 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace monohids::util {
+namespace {
+
+TEST(SimTime, SecondsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+}
+
+TEST(SimTime, WeekOf) {
+  EXPECT_EQ(week_of(0), 0u);
+  EXPECT_EQ(week_of(kMicrosPerWeek - 1), 0u);
+  EXPECT_EQ(week_of(kMicrosPerWeek), 1u);
+  EXPECT_EQ(week_of(4 * kMicrosPerWeek + 5), 4u);
+}
+
+TEST(SimTime, DayOfWeekStartsMonday) {
+  EXPECT_EQ(day_of_week(0), 0u);                      // Monday
+  EXPECT_EQ(day_of_week(4 * kMicrosPerDay), 4u);      // Friday
+  EXPECT_EQ(day_of_week(6 * kMicrosPerDay), 6u);      // Sunday
+  EXPECT_EQ(day_of_week(7 * kMicrosPerDay), 0u);      // wraps to Monday
+}
+
+TEST(SimTime, WeekendDetection) {
+  EXPECT_FALSE(is_weekend(0));
+  EXPECT_FALSE(is_weekend(4 * kMicrosPerDay + kMicrosPerHour));
+  EXPECT_TRUE(is_weekend(5 * kMicrosPerDay));
+  EXPECT_TRUE(is_weekend(6 * kMicrosPerDay + 12 * kMicrosPerHour));
+}
+
+TEST(SimTime, HourOfDay) {
+  EXPECT_DOUBLE_EQ(hour_of_day(0), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(13 * kMicrosPerHour + 30 * kMicrosPerMinute), 13.5);
+  EXPECT_DOUBLE_EQ(hour_of_day(kMicrosPerDay + kMicrosPerHour), 1.0);
+}
+
+TEST(BinGrid, FifteenMinuteBins) {
+  const BinGrid grid = BinGrid::minutes(15);
+  EXPECT_EQ(grid.width(), 15 * kMicrosPerMinute);
+  EXPECT_EQ(grid.bin_of(0), 0u);
+  EXPECT_EQ(grid.bin_of(15 * kMicrosPerMinute - 1), 0u);
+  EXPECT_EQ(grid.bin_of(15 * kMicrosPerMinute), 1u);
+  EXPECT_EQ(grid.bin_count(kMicrosPerWeek), 672u);
+}
+
+TEST(BinGrid, FiveMinuteBins) {
+  const BinGrid grid = BinGrid::minutes(5);
+  EXPECT_EQ(grid.bin_count(kMicrosPerWeek), 2016u);
+}
+
+TEST(BinGrid, BinStartInvertsBinOf) {
+  const BinGrid grid = BinGrid::minutes(15);
+  for (std::uint64_t b : {0ull, 1ull, 100ull, 671ull}) {
+    EXPECT_EQ(grid.bin_of(grid.bin_start(b)), b);
+  }
+}
+
+TEST(BinGrid, PartialBinRoundsUp) {
+  const BinGrid grid = BinGrid::minutes(15);
+  EXPECT_EQ(grid.bin_count(15 * kMicrosPerMinute + 1), 2u);
+  EXPECT_EQ(grid.bin_count(1), 1u);
+}
+
+}  // namespace
+}  // namespace monohids::util

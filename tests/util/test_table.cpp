@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"policy", "alarms"});
+  t.add_row({"homogeneous", "1594"});
+  t.add_row({"full-diversity", "892"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| policy"), std::string::npos);
+  EXPECT_NE(out.find("homogeneous"), std::string::npos);
+  EXPECT_NE(out.find("892"), std::string::npos);
+  // border rows: top, under header, bottom
+  std::size_t plus_rows = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) {
+    ++plus_rows;
+  }
+  EXPECT_GE(plus_rows, 3u);
+}
+
+TEST(TextTable, ColumnsPadToWidestCell) {
+  TextTable t({"x"});
+  t.add_row({"longer-cell"});
+  const std::string out = t.render();
+  // every line has the same width
+  std::size_t first_len = out.find('\n');
+  for (std::size_t start = 0; start < out.size();) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - start, first_len);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t({"n"});
+  t.set_alignment({Align::Right});
+  t.add_row({"7"});
+  t.add_row({"1234"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|    7 |"), std::string::npos);
+  EXPECT_NE(out.find("| 1234 |"), std::string::npos);
+}
+
+TEST(TextTable, MismatchedRowWidthIsAnError) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, EmptyHeadersAreAnError) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace monohids::util
