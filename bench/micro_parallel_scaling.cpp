@@ -1,0 +1,99 @@
+// Thread-scaling microbenchmarks (google-benchmark): the parallel engine's
+// speedup trajectory on the two hot layers it shards — per-user scenario
+// generation and the evaluator's policy sweep. Each benchmark runs at
+// 1/2/4/hardware threads; the "speedup" counter is serial time over this
+// run's time, so on an N-core machine the threads=N row should approach N
+// (and the threads=1 row pins the no-regression-in-serial contract).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "hids/evaluator.hpp"
+#include "sim/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace monohids;
+
+sim::ScenarioConfig scaling_config(unsigned threads) {
+  sim::ScenarioConfig config;
+  config.set_users(24);
+  config.set_weeks(2);
+  config.set_seed(1234);
+  config.threads = threads;
+  return config;
+}
+
+/// Wall-clock of one serial run, measured once and cached, so every
+/// threaded row can report its speedup against the same baseline.
+template <typename Fn>
+double serial_baseline_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void BM_ScenarioBuildThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  static const double serial_seconds = serial_baseline_seconds(
+      [] { benchmark::DoNotOptimize(sim::build_scenario(scaling_config(1))); });
+
+  double run_seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto scenario = sim::build_scenario(scaling_config(threads));
+    const auto stop = std::chrono::steady_clock::now();
+    run_seconds = std::chrono::duration<double>(stop - start).count();
+    benchmark::DoNotOptimize(scenario.matrices.size());
+  }
+  state.counters["threads"] = threads;
+  if (run_seconds > 0.0) state.counters["speedup"] = serial_seconds / run_seconds;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 24));
+}
+
+void BM_EvaluationSweepThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  static const auto scenario = sim::build_scenario(scaling_config(0));
+  static const std::vector<hids::EvaluationRound> rounds{{0, 1}};
+
+  hids::AttackModel attack;
+  for (double s = 1.0; s <= 65536.0; s *= 2.0) attack.sizes.push_back(s);
+  const hids::PercentileHeuristic p99(0.99);
+  const hids::KneePartialGrouper grouper;
+
+  auto sweep = [&](unsigned t) {
+    return hids::evaluate_rounds(scenario.matrices,
+                                 features::FeatureKind::TcpConnections, rounds,
+                                 grouper, p99, attack, t);
+  };
+  static const double serial_seconds =
+      serial_baseline_seconds([&] { benchmark::DoNotOptimize(sweep(1)); });
+
+  double run_seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcome = sweep(threads);
+    const auto stop = std::chrono::steady_clock::now();
+    run_seconds = std::chrono::duration<double>(stop - start).count();
+    benchmark::DoNotOptimize(outcome.users.size());
+  }
+  state.counters["threads"] = threads;
+  if (run_seconds > 0.0) state.counters["speedup"] = serial_seconds / run_seconds;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * scenario.user_count()));
+}
+
+void thread_args(benchmark::internal::Benchmark* bench) {
+  bench->Arg(1)->Arg(2)->Arg(4);
+  const unsigned hw = monohids::util::default_thread_count();
+  if (hw > 4) bench->Arg(static_cast<int>(hw));
+}
+
+BENCHMARK(BM_ScenarioBuildThreads)->Apply(thread_args)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluationSweepThreads)->Apply(thread_args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

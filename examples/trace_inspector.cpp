@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   std::cout << "flow table: " << result.flow_stats.flows_created << " flows ("
             << result.flow_stats.flows_ended_fin << " FIN, "
             << result.flow_stats.flows_ended_rst << " RST, "
-            << result.flow_stats.flows_ended_timeout << " timeout), "
+            << result.flow_stats.flows_ended_timeout << " timeout, "
+            << result.flow_stats.flows_ended_flush << " flushed at EOF), "
             << result.flow_stats.syn_packets << " raw SYNs\n\n";
 
   // Busiest bins per feature.

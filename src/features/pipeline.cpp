@@ -1,5 +1,7 @@
 #include "features/pipeline.hpp"
 
+#include <algorithm>
+
 namespace monohids::features {
 
 PipelineResult extract_features(net::Ipv4Address monitored,
@@ -15,7 +17,12 @@ PipelineResult extract_features(net::Ipv4Address monitored,
       extractor.on_flow_event(event);
     }
   }
-  table.flush(config.horizon > 0 ? config.horizon - 1 : 0);
+  // End-of-trace flush at the later of the horizon and the last observed
+  // timestamp: flushing at horizon - 1 rejected traces whose final packet
+  // landed in the last bin's closing microsecond (or past the horizon), and
+  // mislabeled flows still active there as if time had run out early.
+  const util::Timestamp last_seen = packets.empty() ? 0 : packets.back().timestamp;
+  table.flush(std::max<util::Timestamp>(config.horizon, last_seen));
   for (const net::FlowEvent& event : table.drain_events()) {
     extractor.on_flow_event(event);
   }

@@ -1,6 +1,7 @@
 #include "hids/attacker.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace monohids::hids {
 
@@ -13,20 +14,20 @@ double naive_detection_probability(const stats::EmpiricalDistribution& test, dou
 
 std::vector<double> naive_detection_curve(
     std::span<const stats::EmpiricalDistribution> test_users,
-    std::span<const double> thresholds, std::span<const double> sizes) {
+    std::span<const double> thresholds, std::span<const double> sizes, unsigned threads) {
   MONOHIDS_EXPECT(test_users.size() == thresholds.size(),
                   "user/threshold count mismatch");
   MONOHIDS_EXPECT(!test_users.empty(), "empty population");
-  std::vector<double> curve;
-  curve.reserve(sizes.size());
-  for (double size : sizes) {
-    double acc = 0.0;
-    for (std::size_t u = 0; u < test_users.size(); ++u) {
-      acc += naive_detection_probability(test_users[u], thresholds[u], size);
-    }
-    curve.push_back(acc / static_cast<double>(test_users.size()));
-  }
-  return curve;
+  return util::parallel_map(
+      sizes.size(),
+      [&](std::size_t s) {
+        double acc = 0.0;
+        for (std::size_t u = 0; u < test_users.size(); ++u) {
+          acc += naive_detection_probability(test_users[u], thresholds[u], sizes[s]);
+        }
+        return acc / static_cast<double>(test_users.size());
+      },
+      threads);
 }
 
 double ResourcefulAttacker::hidden_volume(const stats::EmpiricalDistribution& profiled,
@@ -38,15 +39,13 @@ double ResourcefulAttacker::hidden_volume(const stats::EmpiricalDistribution& pr
 
 std::vector<double> ResourcefulAttacker::hidden_volumes(
     std::span<const stats::EmpiricalDistribution> profiled_users,
-    std::span<const double> thresholds) const {
+    std::span<const double> thresholds, unsigned threads) const {
   MONOHIDS_EXPECT(profiled_users.size() == thresholds.size(),
                   "user/threshold count mismatch");
-  std::vector<double> out;
-  out.reserve(profiled_users.size());
-  for (std::size_t u = 0; u < profiled_users.size(); ++u) {
-    out.push_back(hidden_volume(profiled_users[u], thresholds[u]));
-  }
-  return out;
+  return util::parallel_map(
+      profiled_users.size(),
+      [&](std::size_t u) { return hidden_volume(profiled_users[u], thresholds[u]); },
+      threads);
 }
 
 double ResourcefulAttacker::realized_evasion(const stats::EmpiricalDistribution& test,

@@ -24,10 +24,13 @@ namespace monohids::hids {
                                                  double threshold, double size);
 
 /// Fig. 4a series: for each size in `sizes`, the mean detection probability
-/// across the population ("percentage of users raising alarms").
+/// across the population ("percentage of users raising alarms"). The
+/// attack-size grid points are independent and shard over `threads`
+/// workers (0 = auto, 1 = serial) with identical results.
 [[nodiscard]] std::vector<double> naive_detection_curve(
     std::span<const stats::EmpiricalDistribution> test_users,
-    std::span<const double> thresholds, std::span<const double> sizes);
+    std::span<const double> thresholds, std::span<const double> sizes,
+    unsigned threads = 0);
 
 struct ResourcefulAttacker {
   /// The attacker accepts detection with probability 1 - evasion_target.
@@ -41,10 +44,11 @@ struct ResourcefulAttacker {
   [[nodiscard]] double hidden_volume(const stats::EmpiricalDistribution& profiled,
                                      double threshold) const;
 
-  /// Hidden volume for every user (Fig. 4b's boxplot input).
+  /// Hidden volume for every user (Fig. 4b's boxplot input), sharded over
+  /// `threads` workers (0 = auto, 1 = serial).
   [[nodiscard]] std::vector<double> hidden_volumes(
       std::span<const stats::EmpiricalDistribution> profiled_users,
-      std::span<const double> thresholds) const;
+      std::span<const double> thresholds, unsigned threads = 0) const;
 
   /// Realized evasion: probability the attack at `volume` actually stays
   /// under the threshold on the *test* week (the attacker's profile can be

@@ -3,20 +3,21 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace monohids::hids {
 
 std::vector<stats::EmpiricalDistribution> week_distributions(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
-    std::uint32_t week) {
-  std::vector<stats::EmpiricalDistribution> out;
-  out.reserve(users.size());
-  for (const auto& m : users) {
-    const auto slice = m.of(feature).week_slice(week);
-    MONOHIDS_EXPECT(!slice.empty(), "requested week is outside the trace horizon");
-    out.emplace_back(std::vector<double>(slice.begin(), slice.end()));
-  }
-  return out;
+    std::uint32_t week, unsigned threads) {
+  return util::parallel_map(
+      users.size(),
+      [&](std::size_t u) {
+        const auto slice = users[u].of(feature).week_slice(week);
+        MONOHIDS_EXPECT(!slice.empty(), "requested week is outside the trace horizon");
+        return stats::EmpiricalDistribution(std::vector<double>(slice.begin(), slice.end()));
+      },
+      threads);
 }
 
 std::vector<double> PolicyOutcome::utilities(double w) const {
@@ -42,39 +43,45 @@ std::uint64_t PolicyOutcome::total_false_alarms() const {
 PolicyOutcome evaluate_policy(std::span<const stats::EmpiricalDistribution> train,
                               std::span<const stats::EmpiricalDistribution> test,
                               const Grouper& grouper, const ThresholdHeuristic& heuristic,
-                              const AttackModel& attack) {
+                              const AttackModel& attack, unsigned threads) {
   MONOHIDS_EXPECT(train.size() == test.size(), "train/test population mismatch");
   const ThresholdAssignment assignment =
-      assign_thresholds(train, grouper, heuristic, &attack);
+      assign_thresholds(train, grouper, heuristic, &attack, threads);
 
   PolicyOutcome outcome;
   outcome.policy_name = grouper.name();
   outcome.heuristic_name = heuristic.name();
   outcome.users.resize(train.size());
-  for (std::size_t u = 0; u < train.size(); ++u) {
-    UserOutcome& r = outcome.users[u];
-    r.threshold = assignment.threshold_of_user[u];
-    r.group = assignment.groups.group_of_user[u];
-    r.fp_rate = test[u].exceedance(r.threshold);
-    r.fn_rate = attack.mean_fn(test[u], r.threshold);
-    r.weekly_false_alarms =
-        static_cast<std::uint64_t>(std::llround(r.fp_rate * static_cast<double>(test[u].size())));
-  }
+  // Per-user operating points are independent; each shard writes only its
+  // own UserOutcome slot.
+  util::parallel_for(
+      train.size(),
+      [&](std::size_t u) {
+        UserOutcome& r = outcome.users[u];
+        r.threshold = assignment.threshold_of_user[u];
+        r.group = assignment.groups.group_of_user[u];
+        r.fp_rate = test[u].exceedance(r.threshold);
+        r.fn_rate = attack.mean_fn(test[u], r.threshold);
+        r.weekly_false_alarms = static_cast<std::uint64_t>(
+            std::llround(r.fp_rate * static_cast<double>(test[u].size())));
+      },
+      threads);
   return outcome;
 }
 
 PolicyOutcome evaluate_rounds(std::span<const features::FeatureMatrix> users,
                               features::FeatureKind feature,
                               std::span<const EvaluationRound> rounds, const Grouper& grouper,
-                              const ThresholdHeuristic& heuristic, const AttackModel& attack) {
+                              const ThresholdHeuristic& heuristic, const AttackModel& attack,
+                              unsigned threads) {
   MONOHIDS_EXPECT(!rounds.empty(), "need at least one evaluation round");
   PolicyOutcome merged;
   std::vector<double> fp(users.size(), 0.0), fn(users.size(), 0.0), alarms(users.size(), 0.0);
 
   for (const EvaluationRound& round : rounds) {
-    const auto train = week_distributions(users, feature, round.train_week);
-    const auto test = week_distributions(users, feature, round.test_week);
-    PolicyOutcome one = evaluate_policy(train, test, grouper, heuristic, attack);
+    const auto train = week_distributions(users, feature, round.train_week, threads);
+    const auto test = week_distributions(users, feature, round.test_week, threads);
+    PolicyOutcome one = evaluate_policy(train, test, grouper, heuristic, attack, threads);
     for (std::size_t u = 0; u < users.size(); ++u) {
       fp[u] += one.users[u].fp_rate;
       fn[u] += one.users[u].fn_rate;

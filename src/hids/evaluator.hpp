@@ -20,10 +20,12 @@
 namespace monohids::hids {
 
 /// Builds each user's empirical distribution of `feature` over `week` from
-/// their feature matrices.
+/// their feature matrices. Users are independent, so the build fans out
+/// over `threads` workers (0 = auto via util::default_thread_count(),
+/// 1 = serial); the result is identical for every thread count.
 [[nodiscard]] std::vector<stats::EmpiricalDistribution> week_distributions(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
-    std::uint32_t week);
+    std::uint32_t week, unsigned threads = 0);
 
 struct UserOutcome {
   double threshold = 0.0;
@@ -48,11 +50,14 @@ struct PolicyOutcome {
   [[nodiscard]] std::uint64_t total_false_alarms() const;
 };
 
-/// Evaluates one policy for one train→test round.
+/// Evaluates one policy for one train→test round. Threshold assignment and
+/// the per-user (FP, FN) sweep shard over `threads` workers (0 = auto,
+/// 1 = serial); outcomes land in per-user slots, so results are identical
+/// for every thread count.
 [[nodiscard]] PolicyOutcome evaluate_policy(
     std::span<const stats::EmpiricalDistribution> train,
     std::span<const stats::EmpiricalDistribution> test, const Grouper& grouper,
-    const ThresholdHeuristic& heuristic, const AttackModel& attack);
+    const ThresholdHeuristic& heuristic, const AttackModel& attack, unsigned threads = 0);
 
 /// One train→test week pair.
 struct EvaluationRound {
@@ -66,7 +71,7 @@ struct EvaluationRound {
 [[nodiscard]] PolicyOutcome evaluate_rounds(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
     std::span<const EvaluationRound> rounds, const Grouper& grouper,
-    const ThresholdHeuristic& heuristic, const AttackModel& attack);
+    const ThresholdHeuristic& heuristic, const AttackModel& attack, unsigned threads = 0);
 
 /// Replay outcome for a real attack overlaid on the test week: detection is
 /// measured only on bins where the attack is active (b > 0).

@@ -4,12 +4,13 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace monohids::hids {
 
 ThresholdAssignment assign_thresholds(
     std::span<const stats::EmpiricalDistribution> training_users, const Grouper& grouper,
-    const ThresholdHeuristic& heuristic, const AttackModel* attack) {
+    const ThresholdHeuristic& heuristic, const AttackModel* attack, unsigned threads) {
   MONOHIDS_EXPECT(!training_users.empty(), "empty population");
 
   ThresholdAssignment out;
@@ -19,19 +20,25 @@ ThresholdAssignment assign_thresholds(
 
   const auto members = out.groups.members();
   out.threshold_of_group.resize(out.groups.group_count);
-  for (std::uint32_t g = 0; g < out.groups.group_count; ++g) {
-    MONOHIDS_EXPECT(!members[g].empty(), "grouper produced an empty group");
-    if (members[g].size() == 1) {
-      out.threshold_of_group[g] =
-          heuristic.compute(training_users[members[g].front()], attack);
-      continue;
-    }
-    std::vector<stats::EmpiricalDistribution> parts;
-    parts.reserve(members[g].size());
-    for (std::uint32_t u : members[g]) parts.push_back(training_users[u]);
-    const auto pooled = stats::EmpiricalDistribution::merge(parts);
-    out.threshold_of_group[g] = heuristic.compute(pooled, attack);
-  }
+  // Groups are independent (each pools its own members and runs the
+  // heuristic on the pooled distribution), so they shard across threads;
+  // each shard writes only threshold_of_group[g].
+  util::parallel_for(
+      out.groups.group_count,
+      [&](std::size_t g) {
+        MONOHIDS_EXPECT(!members[g].empty(), "grouper produced an empty group");
+        if (members[g].size() == 1) {
+          out.threshold_of_group[g] =
+              heuristic.compute(training_users[members[g].front()], attack);
+          return;
+        }
+        std::vector<stats::EmpiricalDistribution> parts;
+        parts.reserve(members[g].size());
+        for (std::uint32_t u : members[g]) parts.push_back(training_users[u]);
+        const auto pooled = stats::EmpiricalDistribution::merge(parts);
+        out.threshold_of_group[g] = heuristic.compute(pooled, attack);
+      },
+      threads);
 
   out.threshold_of_user.resize(training_users.size());
   for (std::size_t u = 0; u < training_users.size(); ++u) {

@@ -26,10 +26,15 @@ struct ThresholdAssignment {
 };
 
 /// Computes thresholds for every user under (grouper, heuristic). `attack`
-/// is forwarded to FN-aware heuristics and may be null otherwise.
+/// is forwarded to FN-aware heuristics and may be null otherwise. Group
+/// pooling + heuristic evaluation shard over `threads` workers (0 = auto,
+/// 1 = serial; full diversity means one group per user, so this is the
+/// expensive sweep the FN-aware heuristics run 350 times). Results are
+/// identical for every thread count.
 [[nodiscard]] ThresholdAssignment assign_thresholds(
     std::span<const stats::EmpiricalDistribution> training_users, const Grouper& grouper,
-    const ThresholdHeuristic& heuristic, const AttackModel* attack = nullptr);
+    const ThresholdHeuristic& heuristic, const AttackModel* attack = nullptr,
+    unsigned threads = 0);
 
 /// The `count` users with the lowest assigned thresholds — the paper's
 /// "best users" for detecting stealthy anomalies of this feature (Table 2).

@@ -99,8 +99,8 @@ void FlowTable::flush(util::Timestamp now) {
   MONOHIDS_EXPECT(now >= clock_, "clock cannot move backwards");
   clock_ = now;
   for (const auto& [key, flow] : flows_) {
-    ++stats_.flows_ended_timeout;
-    end_flow(key, flow, now, FlowEndReason::IdleTimeout);
+    ++stats_.flows_ended_flush;
+    end_flow(key, flow, now, FlowEndReason::Flush);
   }
   flows_.clear();
 }

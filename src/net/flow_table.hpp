@@ -20,8 +20,10 @@ namespace monohids::net {
 
 enum class FlowEventKind : std::uint8_t { Start, End };
 
-/// Why a flow ended (meaningful for End events).
-enum class FlowEndReason : std::uint8_t { None, Fin, Rst, IdleTimeout };
+/// Why a flow ended (meaningful for End events). Flush marks flows closed
+/// administratively at end-of-trace — they never idled out on their own,
+/// so they are accounted separately from IdleTimeout.
+enum class FlowEndReason : std::uint8_t { None, Fin, Rst, IdleTimeout, Flush };
 
 struct FlowEvent {
   util::Timestamp timestamp = 0;
@@ -44,7 +46,8 @@ struct FlowTableStats {
   std::uint64_t flows_created = 0;
   std::uint64_t flows_ended_fin = 0;
   std::uint64_t flows_ended_rst = 0;
-  std::uint64_t flows_ended_timeout = 0;
+  std::uint64_t flows_ended_timeout = 0;  ///< idle-timeout expiries only
+  std::uint64_t flows_ended_flush = 0;    ///< closed by flush() at trace EOF
   std::uint64_t syn_packets = 0;  ///< raw SYN (non-SYN/ACK) packets seen
 };
 
@@ -63,7 +66,8 @@ class FlowTable {
   /// idle flows time out.
   void advance_to(util::Timestamp now);
 
-  /// Ends every remaining flow (trace EOF) with IdleTimeout reason.
+  /// Ends every remaining flow (trace EOF) with Flush reason; counted in
+  /// stats().flows_ended_flush, not the idle-timeout stat.
   void flush(util::Timestamp now);
 
   /// Moves out accumulated events (in emission order) and clears the buffer.

@@ -8,6 +8,7 @@
 #include "stats/quantile.hpp"
 #include "trace/overlay.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace monohids::sim {
 
@@ -251,18 +252,17 @@ StormReplayResult storm_replay(const Scenario& scenario,
   StormReplayResult result;
   for (const auto& grouper : canonical_groupers()) {
     const auto assignment = hids::assign_thresholds(train, *grouper, p99);
-    std::vector<hids::ReplayOutcome> outcomes;
-    outcomes.reserve(scenario.user_count());
-    for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    // Each host replays the zombie week against its own benign trace and
+    // threshold — independent work, sharded across the pool.
+    auto outcomes = util::parallel_map(scenario.user_count(), [&](std::size_t u) {
       const auto benign = scenario.matrices[u].of(feature).week_slice(test_week);
       // Tile the one-week zombie trace over the test week.
       std::vector<double> attack(benign.size());
       for (std::size_t i = 0; i < benign.size(); ++i) {
         attack[i] = storm_bins[i % storm_bins.size()];
       }
-      outcomes.push_back(
-          hids::evaluate_replay(benign, attack, assignment.threshold_of_user[u]));
-    }
+      return hids::evaluate_replay(benign, attack, assignment.threshold_of_user[u]);
+    });
     result.policy_names.push_back(grouper->name());
     result.outcomes.push_back(std::move(outcomes));
   }

@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace monohids::sim {
 
@@ -10,10 +11,14 @@ Scenario build_scenario(const ScenarioConfig& config) {
   scenario.users = trace::generate_population(config.population);
 
   const trace::TraceGenerator generator(config.generator);
-  scenario.matrices.reserve(scenario.users.size());
-  for (const trace::UserProfile& user : scenario.users) {
-    scenario.matrices.push_back(generator.generate_features(user));
-  }
+  // Each user's matrix is a pure function of (profile, config) via their own
+  // derived RNG stream, so users shard freely across threads; parallel_map
+  // keeps index order, which keeps the scenario bit-identical to the serial
+  // build for any thread count.
+  scenario.matrices = util::parallel_map(
+      scenario.users.size(),
+      [&](std::size_t u) { return generator.generate_features(scenario.users[u]); },
+      config.threads);
   MONOHIDS_LOG(Info, "sim") << "scenario built: " << scenario.users.size() << " users, "
                             << config.generator.weeks << " weeks";
   return scenario;

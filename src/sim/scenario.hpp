@@ -19,6 +19,14 @@ struct ScenarioConfig {
   trace::PopulationConfig population;
   trace::GeneratorConfig generator;
 
+  /// Worker threads for per-user feature generation: 0 = auto
+  /// (MONOHIDS_THREADS env var, else hardware concurrency), 1 = serial.
+  /// Output is bit-identical for every value — each user's matrix comes
+  /// from their own derived RNG stream and lands in their own slot — so
+  /// this is an execution knob, not a model parameter (and is deliberately
+  /// absent from serialize_scenario_config).
+  unsigned threads = 0;
+
   /// Convenience: one seed for everything.
   void set_seed(std::uint64_t seed) { population.seed = seed; }
   void set_users(std::uint32_t n) { population.user_count = n; }

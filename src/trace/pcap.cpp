@@ -59,14 +59,48 @@ std::uint8_t tcp_flag_bits(net::TcpFlags flags) {
 
 }  // namespace
 
-std::uint16_t ipv4_header_checksum(const std::uint8_t* header, std::size_t length) {
-  MONOHIDS_EXPECT(length % 2 == 0, "checksum needs an even-length header");
-  std::uint32_t sum = 0;
-  for (std::size_t i = 0; i < length; i += 2) {
-    sum += static_cast<std::uint32_t>(header[i]) << 8 | header[i + 1];
+namespace {
+
+/// Accumulates big-endian 16-bit words into a running RFC 1071 sum; an odd
+/// trailing byte is padded with zero as the RFC prescribes.
+std::uint32_t ones_complement_sum(const std::uint8_t* data, std::size_t length,
+                                  std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < length; i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
   }
+  if (i < length) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  return sum;
+}
+
+std::uint16_t fold_checksum(std::uint32_t sum) {
   while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
   return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+}  // namespace
+
+std::uint16_t ipv4_header_checksum(const std::uint8_t* header, std::size_t length) {
+  MONOHIDS_EXPECT(length % 2 == 0, "checksum needs an even-length header");
+  return fold_checksum(ones_complement_sum(header, length, 0));
+}
+
+std::uint16_t ipv4_transport_checksum(net::Ipv4Address src, net::Ipv4Address dst,
+                                      std::uint8_t protocol, const std::uint8_t* segment,
+                                      std::size_t length) {
+  // Pseudo-header: source, destination, zero+protocol, transport length.
+  std::uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xFFFF;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xFFFF;
+  sum += protocol;
+  sum += static_cast<std::uint32_t>(length);
+  return fold_checksum(ones_complement_sum(segment, length, sum));
+}
+
+std::uint16_t icmp_checksum(const std::uint8_t* message, std::size_t length) {
+  return fold_checksum(ones_complement_sum(message, length, 0));
 }
 
 void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets) {
@@ -134,23 +168,54 @@ void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets
         frame.push_back(0x50);  // data offset 5
         frame.push_back(tcp_flag_bits(p.tcp_flags));
         put_u16be(frame, 65535);  // window
-        put_u16be(frame, 0);      // checksum (not computed)
+        put_u16be(frame, 0);      // checksum placeholder
         put_u16be(frame, 0);      // urgent
         break;
       case net::Protocol::Udp:
         put_u16be(frame, p.tuple.src_port);
         put_u16be(frame, p.tuple.dst_port);
         put_u16be(frame, static_cast<std::uint16_t>(kUdpHeader + p.payload_bytes));
-        put_u16be(frame, 0);  // checksum optional in IPv4
+        put_u16be(frame, 0);  // checksum placeholder
         break;
       case net::Protocol::Icmp:
         frame.push_back(8);  // echo request
         frame.push_back(0);
-        put_u16be(frame, 0);  // checksum (not computed)
+        put_u16be(frame, 0);  // checksum placeholder
         put_u32be(frame, 0);  // identifier/sequence
         break;
     }
     frame.insert(frame.end(), p.payload_bytes, 0);
+
+    // Fill in the transport checksum now that the (zero) payload is in place:
+    // its bytes contribute nothing to the sum but its length enters the
+    // pseudo-header, so the checksum must be computed over the full segment.
+    const std::size_t l4_start = ip_start + kIpv4Header;
+    const std::uint8_t* segment = frame.data() + l4_start;
+    const std::size_t segment_len = frame.size() - l4_start;
+    switch (p.tuple.protocol) {
+      case net::Protocol::Tcp: {
+        const std::uint16_t c =
+            ipv4_transport_checksum(p.tuple.src_ip, p.tuple.dst_ip, 6, segment,
+                                    segment_len);
+        frame[l4_start + 16] = static_cast<std::uint8_t>(c >> 8);
+        frame[l4_start + 17] = static_cast<std::uint8_t>(c & 0xFF);
+        break;
+      }
+      case net::Protocol::Udp: {
+        std::uint16_t c = ipv4_transport_checksum(p.tuple.src_ip, p.tuple.dst_ip,
+                                                  17, segment, segment_len);
+        if (c == 0) c = 0xFFFF;  // 0 means "no checksum" on the wire
+        frame[l4_start + 6] = static_cast<std::uint8_t>(c >> 8);
+        frame[l4_start + 7] = static_cast<std::uint8_t>(c & 0xFF);
+        break;
+      }
+      case net::Protocol::Icmp: {
+        const std::uint16_t c = icmp_checksum(segment, segment_len);
+        frame[l4_start + 2] = static_cast<std::uint8_t>(c >> 8);
+        frame[l4_start + 3] = static_cast<std::uint8_t>(c & 0xFF);
+        break;
+      }
+    }
 
     // record header
     put_u32le(out, static_cast<std::uint32_t>(p.timestamp / 1'000'000));

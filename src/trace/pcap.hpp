@@ -1,8 +1,9 @@
 // libpcap-format trace export/import.
 //
 // write_pcap() renders PacketRecords as a classic pcap file (Ethernet II /
-// IPv4 / TCP|UDP|ICMP with correct lengths and IPv4 header checksums), so a
-// synthetic enterprise trace opens directly in Wireshark/tcpdump;
+// IPv4 / TCP|UDP|ICMP with correct lengths and valid IPv4 header and
+// TCP/UDP/ICMP checksums), so a synthetic enterprise trace opens directly
+// in Wireshark/tcpdump with no "checksum error" noise;
 // read_pcap() parses real captures (either byte order, micro- or
 // nanosecond timestamps) back into PacketRecords, so the whole pipeline —
 // flow table, features, policies — runs on actual traffic without any
@@ -39,5 +40,19 @@ void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets
 /// RFC 1071 checksum over a 16-bit-aligned header (exposed for tests).
 [[nodiscard]] std::uint16_t ipv4_header_checksum(const std::uint8_t* header,
                                                  std::size_t length);
+
+/// RFC 1071 checksum of a TCP (protocol 6) or UDP (protocol 17) segment with
+/// the IPv4 pseudo-header prepended (exposed for tests). `segment` spans the
+/// transport header plus payload; odd lengths are zero-padded per the RFC.
+/// Callers writing UDP must map a computed 0 to 0xFFFF on the wire.
+[[nodiscard]] std::uint16_t ipv4_transport_checksum(net::Ipv4Address src,
+                                                    net::Ipv4Address dst,
+                                                    std::uint8_t protocol,
+                                                    const std::uint8_t* segment,
+                                                    std::size_t length);
+
+/// RFC 1071 checksum over an ICMP message (no pseudo-header).
+[[nodiscard]] std::uint16_t icmp_checksum(const std::uint8_t* message,
+                                          std::size_t length);
 
 }  // namespace monohids::trace

@@ -1,0 +1,151 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace monohids::util {
+
+namespace {
+
+/// Set for the lifetime of a worker's loop; lets parallel_for detect that
+/// it is already running inside the pool.
+thread_local bool t_on_worker_thread = false;
+
+unsigned parse_env_threads() noexcept {
+  const char* env = std::getenv("MONOHIDS_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1 || value > 4096) return 0;
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+unsigned default_thread_count() noexcept {
+  // The env var is read once: a process-wide execution knob, not something
+  // experiments toggle mid-run (they pass explicit `threads` for that).
+  static const unsigned env_threads = parse_env_threads();
+  if (env_threads > 0) return env_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  const unsigned n = thread_count == 0 ? 1 : thread_count;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MONOHIDS_EXPECT(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MONOHIDS_EXPECT(!stopping_, "pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Intentionally leaked: workers must outlive every static destructor that
+  // could still issue a parallel_for, and the OS reclaims threads at exit.
+  static ThreadPool* pool = new ThreadPool(default_thread_count());
+  return *pool;
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  MONOHIDS_EXPECT(body != nullptr, "parallel_for needs a body");
+  if (count == 0) return;
+
+  const unsigned requested = threads == 0 ? default_thread_count() : threads;
+  // Serial path: also taken for nested calls so pool workers never block on
+  // tasks that only other (possibly busy) workers could run.
+  if (requested <= 1 || count == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct SweepState {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;                 // guards the three fields below
+    std::condition_variable all_done;
+    unsigned active = 0;
+    std::exception_ptr first_error;
+  };
+  SweepState state;
+
+  const auto shard = [&state, &body, count] {
+    for (;;) {
+      const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+        // Park the index counter past the end so every shard stops early.
+        state.next.store(count, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  // The calling thread is one shard; the rest run on the shared pool.
+  const std::size_t max_useful = count < requested ? count : requested;
+  const auto helpers = static_cast<unsigned>(max_useful - 1);
+  state.active = helpers;
+  for (unsigned h = 0; h < helpers; ++h) {
+    ThreadPool::shared().submit([&state, shard] {
+      shard();
+      // Decrement and notify under the lock: once `active` reaches 0 the
+      // caller may destroy `state`, so a helper must not touch it after
+      // releasing the mutex.
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.active == 0) state.all_done.notify_one();
+    });
+  }
+
+  shard();
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.all_done.wait(lock, [&state] { return state.active == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+}  // namespace monohids::util

@@ -125,6 +125,47 @@ TEST(Pipeline, LongLivedUdpFlowCountsOncePerTimeout) {
   EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::UdpConnections).at(1), 1.0);
 }
 
+TEST(Pipeline, FlowInFinalBinIsAccepted) {
+  // Regression: the end-of-trace flush used to happen at horizon - 1, so a
+  // flow whose packets landed in the horizon's closing microsecond (or just
+  // past it) made the flow table's clock run backwards and threw. The flush
+  // must happen at the last observed timestamp when that is later.
+  std::vector<PacketRecord> packets;
+  const FiveTuple f{kHost, Ipv4Address::parse("93.0.0.1"), 50001, 80, Protocol::Tcp};
+  const util::Timestamp horizon = util::kMicrosPerWeek;
+  packets.push_back({horizon - 10, f, TcpFlags::Syn, 0});
+  packets.push_back({horizon - 1, f.reversed(), TcpFlags::Syn | TcpFlags::Ack, 0});
+
+  PipelineConfig config = one_week_config();
+  const auto result = extract_features(kHost, packets, config);
+  const std::size_t last_bin = result.matrix.of(FeatureKind::TcpConnections).bin_count() - 1;
+  EXPECT_DOUBLE_EQ(result.matrix.of(FeatureKind::TcpConnections).at(last_bin), 1.0);
+  EXPECT_EQ(result.flow_stats.flows_created, 1u);
+  EXPECT_EQ(result.flow_stats.flows_ended_flush, 1u);
+
+  // A straggler past the horizon must not throw either: the flush clock
+  // follows the last observed packet.
+  packets.push_back({horizon + 5, f, TcpFlags::Ack, 0});
+  EXPECT_NO_THROW((void)extract_features(kHost, packets, config));
+}
+
+TEST(Pipeline, FlushStatsSeparateFromTimeouts) {
+  // One flow idles out mid-trace, one is still live at EOF; the stats must
+  // tell them apart rather than lumping both into "timeout".
+  std::vector<PacketRecord> packets;
+  const FiveTuple early{kHost, Ipv4Address::parse("78.0.0.1"), 50001, 20000,
+                        Protocol::Udp};
+  const FiveTuple late{kHost, Ipv4Address::parse("78.0.0.2"), 50002, 20000,
+                       Protocol::Udp};
+  packets.push_back({0, early, TcpFlags::None, 25});
+  packets.push_back({30 * kMicrosPerMinute, late, TcpFlags::None, 25});
+
+  const auto result = extract_features(kHost, packets, one_week_config());
+  EXPECT_EQ(result.flow_stats.flows_created, 2u);
+  EXPECT_EQ(result.flow_stats.flows_ended_timeout, 1u);
+  EXPECT_EQ(result.flow_stats.flows_ended_flush, 1u);
+}
+
 TEST(Pipeline, FiveMinuteBinning) {
   PipelineConfig config = one_week_config();
   config.grid = util::BinGrid::minutes(5);

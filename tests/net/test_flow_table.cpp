@@ -162,10 +162,28 @@ TEST(FlowTable, FlushEndsEverything) {
   const auto events = table.drain_events();
   std::size_t ends = 0;
   for (const auto& e : events) {
-    if (e.kind == FlowEventKind::End) ++ends;
+    if (e.kind == FlowEventKind::End) {
+      ++ends;
+      EXPECT_EQ(e.end_reason, FlowEndReason::Flush);
+    }
   }
   EXPECT_EQ(ends, 2u);
   EXPECT_EQ(table.active_flows(), 0u);
+  // Flushed flows never idled out; they are accounted in their own counter.
+  EXPECT_EQ(table.stats().flows_ended_flush, 2u);
+  EXPECT_EQ(table.stats().flows_ended_timeout, 0u);
+}
+
+TEST(FlowTable, FlushDoesNotAbsorbIdleTimeouts) {
+  FlowTableConfig config;
+  config.udp_idle_timeout = kMicrosPerMinute;
+  FlowTable table(kHost, config);
+  table.process(pkt(0, out_udp(50001)));
+  table.advance_to(2 * kMicrosPerMinute);  // UDP flow idles out here
+  table.process(pkt(2 * kMicrosPerMinute, out_tcp(50000), TcpFlags::Syn));
+  table.flush(2 * kMicrosPerMinute + 1);  // only the live TCP flow remains
+  EXPECT_EQ(table.stats().flows_ended_timeout, 1u);
+  EXPECT_EQ(table.stats().flows_ended_flush, 1u);
 }
 
 TEST(FlowTable, RejectsForeignPackets) {

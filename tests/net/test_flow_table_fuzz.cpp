@@ -78,8 +78,13 @@ TEST_P(FlowTableFuzz, InvariantsHoldUnderRandomTraffic) {
   EXPECT_EQ(table.active_flows(), 0u);
   EXPECT_EQ(table.stats().flows_created, starts);
   EXPECT_EQ(table.stats().flows_ended_fin + table.stats().flows_ended_rst +
-                table.stats().flows_ended_timeout,
+                table.stats().flows_ended_timeout + table.stats().flows_ended_flush,
             ends);
+  // The flush only accounts for flows still live at EOF; it must not absorb
+  // ends that already happened organically.
+  EXPECT_EQ(table.stats().flows_ended_flush,
+            starts - table.stats().flows_ended_fin - table.stats().flows_ended_rst -
+                table.stats().flows_ended_timeout);
   EXPECT_EQ(table.stats().packets_processed, static_cast<std::uint64_t>(packets));
 }
 

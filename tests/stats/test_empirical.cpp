@@ -118,6 +118,46 @@ TEST(Empirical, MergedQuantileDominatedByHeavyPart) {
   EXPECT_DOUBLE_EQ(merged.quantile(0.995), 1000.0);
 }
 
+TEST(Empirical, MergeOfNothingIsEmpty) {
+  const std::vector<EmpiricalDistribution> none;
+  EXPECT_TRUE(EmpiricalDistribution::merge(none).empty());
+}
+
+TEST(Empirical, MergeSkipsEmptyParts) {
+  const std::vector<EmpiricalDistribution> parts{EmpiricalDistribution{}, dist({2, 1}),
+                                                 EmpiricalDistribution{}};
+  const auto merged = EmpiricalDistribution::merge(parts);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 2.0);
+}
+
+TEST(Empirical, MergeKeepsSamplesSortedWithDuplicates) {
+  const std::vector<EmpiricalDistribution> parts{dist({5, 1, 5}), dist({3, 5, 1})};
+  const auto merged = EmpiricalDistribution::merge(parts);
+  ASSERT_EQ(merged.size(), 6u);
+  const auto s = merged.samples();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_EQ(std::count(s.begin(), s.end(), 5.0), 3);
+  // Pooled queries agree with a flat rebuild from the concatenated samples.
+  const auto flat = dist({5, 1, 5, 3, 5, 1});
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), flat.quantile(q));
+    EXPECT_DOUBLE_EQ(merged.quantile_interpolated(q), flat.quantile_interpolated(q));
+  }
+  EXPECT_DOUBLE_EQ(merged.cdf(3.0), flat.cdf(3.0));
+}
+
+TEST(Empirical, MergeIsOrderInsensitive) {
+  const std::vector<EmpiricalDistribution> ab{dist({1, 4}), dist({2, 3})};
+  const std::vector<EmpiricalDistribution> ba{dist({2, 3}), dist({1, 4})};
+  const auto m1 = EmpiricalDistribution::merge(ab);
+  const auto m2 = EmpiricalDistribution::merge(ba);
+  const auto s1 = m1.samples();
+  const auto s2 = m2.samples();
+  ASSERT_TRUE(std::equal(s1.begin(), s1.end(), s2.begin(), s2.end()));
+}
+
 TEST(Empirical, QuantileMatchesNearestRankDefinition) {
   const auto d = dist({1, 2, 3, 4, 5});
   EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);

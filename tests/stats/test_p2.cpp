@@ -100,5 +100,53 @@ TEST(P2, NonFiniteIsAnError) {
   EXPECT_THROW(p.add(std::nan("")), PreconditionError);
 }
 
+TEST(P2, ExactAtTheFourSampleBoundary) {
+  // Four samples still answer exactly; the fifth initializes the markers.
+  P2Quantile p(0.5);
+  std::vector<double> all{8.0, 2.0, 6.0, 4.0};
+  for (double x : all) p.add(x);
+  EXPECT_DOUBLE_EQ(p.value(), quantile_nearest_rank(all, 0.5));
+  p.add(5.0);
+  all.push_back(5.0);
+  EXPECT_EQ(p.count(), 5u);
+  // With exactly five samples the marker heights are the samples
+  // themselves, so the estimate must still fall inside the data range.
+  EXPECT_GE(p.value(), 2.0);
+  EXPECT_LE(p.value(), 8.0);
+}
+
+TEST(P2, DuplicateHeavyStreamStaysNearExactQuantile) {
+  // Long runs of equal values stress the marker-adjustment division; the
+  // paper's bin counts are small integers, so ties dominate real streams.
+  util::Xoshiro256 rng(31);
+  P2Quantile sketch(0.95);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::floor(rng.uniform01() * 8.0);  // values in {0..7}
+    sketch.add(x);
+    all.push_back(x);
+  }
+  const double exact = quantile_interpolated(all, 0.95);
+  EXPECT_NEAR(sketch.value(), exact, 1.0);  // within one discrete level
+  EXPECT_GE(sketch.value(), 0.0);
+  EXPECT_LE(sketch.value(), 7.0);
+}
+
+TEST(P2, MonotoneStreamsTrackInterpolatedQuantile) {
+  // Sorted input is the adversarial ordering for streaming estimators:
+  // early markers see only the low (or high) tail. Both directions must
+  // stay close to the exact interpolated quantile.
+  std::vector<double> ascending, descending;
+  for (int i = 1; i <= 20000; ++i) ascending.push_back(static_cast<double>(i));
+  descending.assign(ascending.rbegin(), ascending.rend());
+
+  for (const auto& stream : {ascending, descending}) {
+    P2Quantile sketch(0.9);
+    for (double x : stream) sketch.add(x);
+    const double exact = quantile_interpolated(stream, 0.9);
+    EXPECT_NEAR(sketch.value(), exact, 0.02 * 20000.0);
+  }
+}
+
 }  // namespace
 }  // namespace monohids::stats

@@ -84,6 +84,70 @@ TEST(Pcap, WrittenChecksumsValidate) {
   EXPECT_EQ(ipv4_header_checksum(ip, 20), 0x0000);
 }
 
+TEST(Pcap, WrittenTransportChecksumsValidate) {
+  // Receiver-side validation: re-summing a segment with its checksum field
+  // included must fold to zero. Walk every record in the written file and
+  // validate TCP/UDP with the pseudo-header, ICMP over the message alone.
+  const auto packets = sample_packets();
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  const std::string bytes = buffer.str();
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+
+  std::size_t pos = 24;  // skip the global header
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const net::PacketRecord& p = packets[i];
+    const std::uint32_t incl_len = static_cast<std::uint32_t>(data[pos + 8]) |
+                                   static_cast<std::uint32_t>(data[pos + 9]) << 8 |
+                                   static_cast<std::uint32_t>(data[pos + 10]) << 16 |
+                                   static_cast<std::uint32_t>(data[pos + 11]) << 24;
+    const std::uint8_t* frame = data + pos + 16;
+    const std::uint8_t* segment = frame + 14 + 20;  // ethernet + IPv4
+    const std::size_t segment_len = incl_len - 14 - 20;
+
+    std::uint16_t written = 0, validation = 0;
+    switch (p.tuple.protocol) {
+      case net::Protocol::Tcp:
+        written = static_cast<std::uint16_t>(segment[16] << 8 | segment[17]);
+        validation = ipv4_transport_checksum(p.tuple.src_ip, p.tuple.dst_ip, 6,
+                                             segment, segment_len);
+        break;
+      case net::Protocol::Udp:
+        written = static_cast<std::uint16_t>(segment[6] << 8 | segment[7]);
+        validation = ipv4_transport_checksum(p.tuple.src_ip, p.tuple.dst_ip, 17,
+                                             segment, segment_len);
+        break;
+      case net::Protocol::Icmp:
+        written = static_cast<std::uint16_t>(segment[2] << 8 | segment[3]);
+        validation = icmp_checksum(segment, segment_len);
+        break;
+    }
+    EXPECT_NE(written, 0u) << "packet " << i << " left a zero checksum";
+    EXPECT_EQ(validation, 0u) << "packet " << i << " checksum does not validate";
+    pos += 16 + incl_len;
+  }
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(Pcap, TransportChecksumKnownVector) {
+  // Hand-checked UDP datagram: 192.168.0.1 -> 192.168.0.199, sport 1087,
+  // dport 13, length 8+5, payload "TEST\n" replaced with zeros in our writer
+  // so we use an all-zero payload vector computed by hand instead.
+  const std::uint8_t udp[] = {0x04, 0x3f, 0x00, 0x0d, 0x00, 0x0d, 0x00, 0x00,
+                              0x00, 0x00, 0x00, 0x00, 0x00};
+  const auto src = net::Ipv4Address::parse("192.168.0.1");
+  const auto dst = net::Ipv4Address::parse("192.168.0.199");
+  // Pseudo-header sum: c0a8 + 0001 + c0a8 + 00c7 + 0011 + 000d = 0x18236;
+  // segment sum: 043f + 000d + 000d = 0x0459; total 0x1868f, folded
+  // 0x868f + 1 = 0x8690 -> checksum ~0x8690 = 0x796f.
+  EXPECT_EQ(ipv4_transport_checksum(src, dst, 17, udp, sizeof(udp)), 0x796f);
+
+  // Odd-length ICMP message exercises the trailing-byte pad.
+  const std::uint8_t icmp[] = {0x08, 0x00, 0x00, 0x00, 0x12};
+  // Sum: 0800 + 0000 + 1200 = 0x1a00 -> checksum 0xe5ff.
+  EXPECT_EQ(icmp_checksum(icmp, sizeof(icmp)), 0xe5ff);
+}
+
 TEST(Pcap, ReadsByteSwappedFiles) {
   // Write a file, then byte-swap its global and record headers by hand to
   // simulate a capture from an opposite-endian machine.
