@@ -12,15 +12,17 @@ int main(int argc, char** argv) {
   auto flags = bench::standard_flags("Figure 3(a): per-host utility boxplots");
   flags.add_double("w", 0.4, "utility weight on false negatives");
   if (!flags.parse(argc, argv)) return 0;
-  const auto scenario = bench::scenario_from_flags(flags);
+  bench::PhaseTimings timings;
+  const auto scenario = bench::scenario_from_flags(flags, timings);
   const double w = flags.get_double("w");
 
   bench::banner("Figure 3(a): end-host utility distribution per policy",
                 "diversity utility exceeds homogeneous for the vast majority of "
                 "users; 8-partial close to full diversity");
 
-  const auto result =
-      sim::utility_boxplots(scenario, bench::feature_from_flags(flags), w);
+  const auto result = timings.time("utility_boxplots", [&] {
+    return sim::utility_boxplots(scenario, bench::feature_from_flags(flags), w);
+  });
 
   std::vector<util::LabelledBox> boxes;
   util::TextTable table({"policy", "q1", "median", "q3", "mean"});
@@ -49,5 +51,6 @@ int main(int argc, char** argv) {
                 << '\n';
     }
   }
+  timings.write_if_requested(flags, "fig3a_utility_boxplots");
   return 0;
 }

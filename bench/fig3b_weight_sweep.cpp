@@ -13,14 +13,17 @@ int main(int argc, char** argv) {
                  "re-run the utility-optimal heuristic per w instead of fixing the "
                  "99th-percentile operating point");
   if (!flags.parse(argc, argv)) return 0;
-  const auto scenario = bench::scenario_from_flags(flags);
+  bench::PhaseTimings timings;
+  const auto scenario = bench::scenario_from_flags(flags, timings);
 
   bench::banner("Figure 3(b): average utility vs weight w",
                 "homogeneous and diversity curves diverge as w grows; diversity "
                 "stays on top");
 
-  const auto result = sim::weight_sweep(scenario, bench::feature_from_flags(flags), {},
-                                        flags.get_bool("reoptimize"));
+  const auto result = timings.time("weight_sweep", [&] {
+    return sim::weight_sweep(scenario, bench::feature_from_flags(flags), {},
+                             flags.get_bool("reoptimize"));
+  });
 
   std::vector<util::Series> series;
   for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
@@ -44,5 +47,6 @@ int main(int argc, char** argv) {
                    util::fixed(result.mean_utility[1][i] - result.mean_utility[0][i], 3)});
   }
   std::cout << '\n' << table.render();
+  timings.write_if_requested(flags, "fig3b_weight_sweep");
   return 0;
 }

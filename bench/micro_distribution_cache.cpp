@@ -1,0 +1,138 @@
+// Microbenchmark for the zero-copy distribution cache (sim::AnalysisCache).
+//
+// Measures (a) cold vs warm week_distributions queries — the warm path must
+// be >= 5x faster since it returns a shared arena instead of re-sorting
+// every user's week slice — and (b) the end-to-end wall time of the
+// alarm_rates + utility_boxplots + weight_sweep suite with the cache
+// bypassed (the pre-cache pipeline) vs enabled, verifying along the way
+// that both paths produce bit-identical experiment outputs.
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "bench/common.hpp"
+#include "sim/analysis_cache.hpp"
+
+namespace {
+
+using namespace monohids;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct SuiteResult {
+  sim::AlarmRateResult alarms;
+  sim::UtilityComparisonResult utilities;
+  sim::WeightSweepResult sweep;
+};
+
+SuiteResult run_suite(const sim::Scenario& scenario, features::FeatureKind feature) {
+  SuiteResult result;
+  result.alarms = sim::alarm_rates(scenario, feature);
+  result.utilities = sim::utility_boxplots(scenario, feature, 0.4);
+  result.sweep = sim::weight_sweep(scenario, feature);
+  return result;
+}
+
+bool identical(const SuiteResult& a, const SuiteResult& b) {
+  return a.alarms.alarms == b.alarms.alarms &&
+         a.alarms.heuristic_names == b.alarms.heuristic_names &&
+         a.utilities.utilities == b.utilities.utilities &&
+         a.sweep.mean_utility == b.sweep.mean_utility && a.sweep.weights == b.sweep.weights;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::standard_flags(
+      "Microbenchmark: zero-copy distribution cache & memoized evaluation pipeline");
+  flags.add_int("repeat", 12,
+                "repeated week_distributions queries per measurement (alarm_rates "
+                "issues 12 per feature)");
+  if (!flags.parse(argc, argv)) return 0;
+  bench::PhaseTimings timings;
+  const auto scenario = bench::scenario_from_flags(flags, timings);
+  const auto feature = bench::feature_from_flags(flags);
+  const auto repeat = static_cast<std::size_t>(flags.get_int("repeat"));
+  timings.config("repeat", flags.get_int("repeat"));
+
+  bench::banner("micro_distribution_cache",
+                "warm cache queries >= 5x faster than rebuilding; suite wall time "
+                "drops with bit-identical outputs");
+
+  // --- (a) cold vs warm distribution queries ------------------------------
+  auto& cache = scenario.analysis();
+  const auto cold_start = Clock::now();
+  (void)cache.week(feature, 0);
+  const double cold_ms = ms_since(cold_start);
+  timings.record("week_query_cold", cold_ms);
+
+  const auto uncached_start = Clock::now();
+  for (std::size_t i = 0; i < repeat; ++i) {
+    (void)hids::week_distributions(scenario.matrices, feature, 0);
+  }
+  const double uncached_ms = ms_since(uncached_start);
+  timings.record("week_queries_uncached", uncached_ms);
+
+  const auto warm_start = Clock::now();
+  for (std::size_t i = 0; i < repeat; ++i) {
+    (void)cache.week(feature, 0);
+  }
+  const double warm_ms = ms_since(warm_start);
+  timings.record("week_queries_warm", warm_ms);
+
+  const double query_speedup = warm_ms > 0.0 ? uncached_ms / warm_ms
+                                             : std::numeric_limits<double>::infinity();
+
+  // --- (b) end-to-end figure suite: bypassed vs cached --------------------
+  cache.clear();
+  cache.set_bypass(true);
+  const auto bypass_start = Clock::now();
+  const auto uncached_suite = run_suite(scenario, feature);
+  const double suite_uncached_ms = ms_since(bypass_start);
+  timings.record("suite_uncached", suite_uncached_ms);
+
+  cache.set_bypass(false);
+  cache.clear();
+  const auto cached_start = Clock::now();
+  const auto cached_suite = run_suite(scenario, feature);
+  const double suite_cached_ms = ms_since(cached_start);
+  timings.record("suite_cached", suite_cached_ms);
+
+  const bool outputs_match = identical(uncached_suite, cached_suite);
+  const auto counters = cache.counters();
+  const double suite_speedup =
+      suite_cached_ms > 0.0 ? suite_uncached_ms / suite_cached_ms : 0.0;
+
+  util::TextTable table({"measurement", "value"});
+  table.set_alignment({util::Align::Left, util::Align::Right});
+  table.add_row({"week query, cold build (ms)", util::fixed(cold_ms, 3)});
+  table.add_row({"week queries x" + std::to_string(repeat) + ", uncached (ms)",
+                 util::fixed(uncached_ms, 3)});
+  table.add_row({"week queries x" + std::to_string(repeat) + ", warm cache (ms)",
+                 util::fixed(warm_ms, 3)});
+  table.add_row({"warm query speedup", util::fixed(query_speedup, 1) + "x"});
+  table.add_row({"suite (alarm_rates+boxplots+sweep), uncached (ms)",
+                 util::fixed(suite_uncached_ms, 1)});
+  table.add_row({"suite (alarm_rates+boxplots+sweep), cached (ms)",
+                 util::fixed(suite_cached_ms, 1)});
+  table.add_row({"suite speedup", util::fixed(suite_speedup, 2) + "x"});
+  table.add_row({"cache hits / misses", std::to_string(counters.hits) + " / " +
+                                            std::to_string(counters.misses)});
+  table.add_row({"cached == uncached outputs", outputs_match ? "yes" : "NO"});
+  std::cout << table.render();
+
+  timings.write_if_requested(flags, "micro_distribution_cache");
+
+  if (!outputs_match) {
+    std::cerr << "FAIL: cached and uncached suites diverged\n";
+    return 1;
+  }
+  if (query_speedup < 5.0) {
+    std::cerr << "FAIL: warm query speedup " << query_speedup << "x below the 5x target\n";
+    return 1;
+  }
+  return 0;
+}

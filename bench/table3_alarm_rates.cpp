@@ -10,14 +10,17 @@ int main(int argc, char** argv) {
   auto flags = bench::standard_flags("Table 3: weekly false alarms at the IT console");
   flags.add_double("w", 0.4, "utility-heuristic weight");
   if (!flags.parse(argc, argv)) return 0;
-  const auto scenario = bench::scenario_from_flags(flags);
+  bench::PhaseTimings timings;
+  const auto scenario = bench::scenario_from_flags(flags, timings);
 
   bench::banner("Table 3: mean false alarms per week at the central console",
                 "homogeneous worst under both heuristics; diversity policies cut "
                 "the volume roughly in half");
 
-  const auto result = sim::alarm_rates(scenario, bench::feature_from_flags(flags),
-                                       flags.get_double("w"));
+  const auto result = timings.time("alarm_rates", [&] {
+    return sim::alarm_rates(scenario, bench::feature_from_flags(flags),
+                            flags.get_double("w"));
+  });
 
   util::TextTable table({"Threshold Heuristic", "Homogeneous", "Full Diversity",
                          "Partial Diversity"});
@@ -39,5 +42,6 @@ int main(int argc, char** argv) {
                           static_cast<double>(scenario.user_count());
   std::cout << "full diversity, 99th pct: ~" << util::fixed(per_user, 1)
             << " alarms per user per week (paper: ~3)\n";
+  timings.write_if_requested(flags, "table3_alarm_rates");
   return 0;
 }

@@ -44,13 +44,24 @@ PolicyOutcome evaluate_policy(std::span<const stats::EmpiricalDistribution> trai
                               std::span<const stats::EmpiricalDistribution> test,
                               const Grouper& grouper, const ThresholdHeuristic& heuristic,
                               const AttackModel& attack, unsigned threads) {
-  MONOHIDS_EXPECT(train.size() == test.size(), "train/test population mismatch");
   const ThresholdAssignment assignment =
       assign_thresholds(train, grouper, heuristic, &attack, threads);
+  return evaluate_policy(train, test, assignment, grouper.name(), heuristic.name(), attack,
+                         threads);
+}
+
+PolicyOutcome evaluate_policy(std::span<const stats::EmpiricalDistribution> train,
+                              std::span<const stats::EmpiricalDistribution> test,
+                              const ThresholdAssignment& assignment, std::string policy_name,
+                              std::string heuristic_name, const AttackModel& attack,
+                              unsigned threads) {
+  MONOHIDS_EXPECT(train.size() == test.size(), "train/test population mismatch");
+  MONOHIDS_EXPECT(assignment.threshold_of_user.size() == train.size(),
+                  "assignment covers a different population");
 
   PolicyOutcome outcome;
-  outcome.policy_name = grouper.name();
-  outcome.heuristic_name = heuristic.name();
+  outcome.policy_name = std::move(policy_name);
+  outcome.heuristic_name = std::move(heuristic_name);
   outcome.users.resize(train.size());
   // Per-user operating points are independent; each shard writes only its
   // own UserOutcome slot.
@@ -73,15 +84,39 @@ PolicyOutcome evaluate_rounds(std::span<const features::FeatureMatrix> users,
                               features::FeatureKind feature,
                               std::span<const EvaluationRound> rounds, const Grouper& grouper,
                               const ThresholdHeuristic& heuristic, const AttackModel& attack,
-                              unsigned threads) {
+                              unsigned threads, DistributionCache* cache) {
   MONOHIDS_EXPECT(!rounds.empty(), "need at least one evaluation round");
   PolicyOutcome merged;
   std::vector<double> fp(users.size(), 0.0), fn(users.size(), 0.0), alarms(users.size(), 0.0);
 
   for (const EvaluationRound& round : rounds) {
-    const auto train = week_distributions(users, feature, round.train_week, threads);
-    const auto test = week_distributions(users, feature, round.test_week, threads);
-    PolicyOutcome one = evaluate_policy(train, test, grouper, heuristic, attack, threads);
+    // Shared pointers keep cache-owned distribution sets alive across the
+    // round even if the cache is concurrently queried elsewhere.
+    std::shared_ptr<const DistributionCache::DistributionSet> train_held, test_held;
+    std::vector<stats::EmpiricalDistribution> train_built, test_built;
+    std::shared_ptr<const ThresholdAssignment> assignment_held;
+
+    std::span<const stats::EmpiricalDistribution> train, test;
+    if (cache != nullptr) {
+      train_held = cache->week(feature, round.train_week, threads);
+      test_held = cache->week(feature, round.test_week, threads);
+      MONOHIDS_EXPECT(train_held->size() == users.size(),
+                      "cache covers a different population");
+      train = *train_held;
+      test = *test_held;
+      assignment_held =
+          cache->thresholds(feature, round.train_week, grouper, heuristic, &attack, threads);
+    } else {
+      train_built = week_distributions(users, feature, round.train_week, threads);
+      test_built = week_distributions(users, feature, round.test_week, threads);
+      train = train_built;
+      test = test_built;
+    }
+    PolicyOutcome one =
+        assignment_held != nullptr
+            ? evaluate_policy(train, test, *assignment_held, grouper.name(),
+                              heuristic.name(), attack, threads)
+            : evaluate_policy(train, test, grouper, heuristic, attack, threads);
     for (std::size_t u = 0; u < users.size(); ++u) {
       fp[u] += one.users[u].fp_rate;
       fn[u] += one.users[u].fn_rate;
@@ -133,13 +168,17 @@ JointAlarmOutcome joint_alarm_rate(
   MONOHIDS_EXPECT(!reference.empty(), "week outside the matrix horizon");
   const std::size_t bins = reference.size();
 
+  std::array<std::span<const double>, features::kFeatureCount> slices;
+  for (features::FeatureKind f : features::kAllFeatures) {
+    slices[features::index_of(f)] = matrix.of(f).week_slice(week);
+  }
+
   std::size_t joint = 0;
   std::array<std::size_t, features::kFeatureCount> marginal{};
   for (std::size_t b = 0; b < bins; ++b) {
     bool any = false;
-    for (features::FeatureKind f : features::kAllFeatures) {
-      const auto i = features::index_of(f);
-      if (matrix.of(f).week_slice(week)[b] > thresholds[i]) {
+    for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+      if (slices[i][b] > thresholds[i]) {
         ++marginal[i];
         any = true;
       }

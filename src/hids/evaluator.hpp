@@ -10,6 +10,7 @@
 // train→test week pairs (the paper uses wk1→wk2 and wk3→wk4).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,6 +27,31 @@ namespace monohids::hids {
 [[nodiscard]] std::vector<stats::EmpiricalDistribution> week_distributions(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
     std::uint32_t week, unsigned threads = 0);
+
+/// Memoization interface the evaluation pipeline threads through: a source
+/// of precomputed per-user week distributions and threshold assignments.
+/// Implementations must return results bit-identical to the direct
+/// week_distributions / assign_thresholds calls for the same population and
+/// be safe to call from multiple (non-pool) threads. sim::AnalysisCache is
+/// the production implementation; evaluation APIs accept a null pointer to
+/// mean "compute from scratch every time".
+class DistributionCache {
+ public:
+  using DistributionSet = std::vector<stats::EmpiricalDistribution>;
+
+  virtual ~DistributionCache() = default;
+
+  /// Per-user distributions of `feature` over `week`.
+  [[nodiscard]] virtual std::shared_ptr<const DistributionSet> week(
+      features::FeatureKind feature, std::uint32_t week, unsigned threads) = 0;
+
+  /// Threshold assignment for (feature, train_week, grouper, heuristic,
+  /// attack). `attack` may be null for FN-unaware heuristics.
+  [[nodiscard]] virtual std::shared_ptr<const ThresholdAssignment> thresholds(
+      features::FeatureKind feature, std::uint32_t train_week, const Grouper& grouper,
+      const ThresholdHeuristic& heuristic, const AttackModel* attack,
+      unsigned threads) = 0;
+};
 
 struct UserOutcome {
   double threshold = 0.0;
@@ -59,6 +85,15 @@ struct PolicyOutcome {
     std::span<const stats::EmpiricalDistribution> test, const Grouper& grouper,
     const ThresholdHeuristic& heuristic, const AttackModel& attack, unsigned threads = 0);
 
+/// Same, but with a precomputed threshold assignment (e.g. from a
+/// DistributionCache) instead of running grouping + heuristics inline.
+/// `policy_name` / `heuristic_name` label the outcome.
+[[nodiscard]] PolicyOutcome evaluate_policy(
+    std::span<const stats::EmpiricalDistribution> train,
+    std::span<const stats::EmpiricalDistribution> test,
+    const ThresholdAssignment& assignment, std::string policy_name,
+    std::string heuristic_name, const AttackModel& attack, unsigned threads = 0);
+
 /// One train→test week pair.
 struct EvaluationRound {
   std::uint32_t train_week = 0;
@@ -67,11 +102,15 @@ struct EvaluationRound {
 
 /// Runs several rounds and averages each user's outcomes across rounds
 /// (thresholds/groups reported from the last round; alarm counts are
-/// per-week means rounded to the nearest integer).
+/// per-week means rounded to the nearest integer). When `cache` is non-null
+/// it must cover the same `users` population; week distributions and
+/// threshold assignments are then fetched through it (memoized) instead of
+/// rebuilt per round — the result is bit-identical either way.
 [[nodiscard]] PolicyOutcome evaluate_rounds(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
     std::span<const EvaluationRound> rounds, const Grouper& grouper,
-    const ThresholdHeuristic& heuristic, const AttackModel& attack, unsigned threads = 0);
+    const ThresholdHeuristic& heuristic, const AttackModel& attack, unsigned threads = 0,
+    DistributionCache* cache = nullptr);
 
 /// Replay outcome for a real attack overlaid on the test week: detection is
 /// measured only on bins where the attack is active (b > 0).

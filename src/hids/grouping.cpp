@@ -110,6 +110,13 @@ std::string KneePartialGrouper::name() const {
   return os.str();
 }
 
+std::string KneePartialGrouper::cache_key() const {
+  std::ostringstream os;
+  os << name() << "(top=" << top_fraction_ << ",tg=" << top_groups_
+     << ",bg=" << bottom_groups_ << ",q=" << pivot_quantile_ << ')';
+  return os.str();
+}
+
 KMeansGrouper::KMeansGrouper(std::uint32_t k, double pivot_quantile, std::uint64_t seed)
     : k_(k), pivot_quantile_(pivot_quantile), seed_(seed) {
   MONOHIDS_EXPECT(k > 0, "k must be positive");
@@ -139,6 +146,12 @@ std::string KMeansGrouper::name() const {
   return os.str();
 }
 
+std::string KMeansGrouper::cache_key() const {
+  std::ostringstream os;
+  os << name() << "(q=" << pivot_quantile_ << ",seed=" << seed_ << ')';
+  return os.str();
+}
+
 EqualFrequencyGrouper::EqualFrequencyGrouper(std::uint32_t k, double pivot_quantile)
     : k_(k), pivot_quantile_(pivot_quantile) {
   MONOHIDS_EXPECT(k > 0, "k must be positive");
@@ -158,6 +171,12 @@ GroupAssignment EqualFrequencyGrouper::assign(
 std::string EqualFrequencyGrouper::name() const {
   std::ostringstream os;
   os << "equal-freq-" << k_;
+  return os.str();
+}
+
+std::string EqualFrequencyGrouper::cache_key() const {
+  std::ostringstream os;
+  os << name() << "(q=" << pivot_quantile_ << ')';
   return os.str();
 }
 

@@ -40,6 +40,12 @@ class Grouper {
       std::span<const stats::EmpiricalDistribution> users) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Identity string for memoization (sim::AnalysisCache): two groupers
+  /// with the same cache_key MUST produce identical partitions on identical
+  /// input. Defaults to name(); parameterized groupers whose display name
+  /// omits configuration override it to append every parameter.
+  [[nodiscard]] virtual std::string cache_key() const { return name(); }
 };
 
 /// Everybody in one group — the monoculture baseline.
@@ -70,6 +76,7 @@ class KneePartialGrouper final : public Grouper {
   [[nodiscard]] GroupAssignment assign(
       std::span<const stats::EmpiricalDistribution> users) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double top_fraction_;
@@ -86,6 +93,7 @@ class KMeansGrouper final : public Grouper {
   [[nodiscard]] GroupAssignment assign(
       std::span<const stats::EmpiricalDistribution> users) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   std::uint32_t k_;
@@ -100,6 +108,7 @@ class EqualFrequencyGrouper final : public Grouper {
   [[nodiscard]] GroupAssignment assign(
       std::span<const stats::EmpiricalDistribution> users) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   std::uint32_t k_;

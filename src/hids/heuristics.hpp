@@ -26,6 +26,13 @@ class ThresholdHeuristic {
                                        const AttackModel* attack) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Identity string for memoization (sim::AnalysisCache): two heuristics
+  /// with the same cache_key MUST compute identical thresholds on identical
+  /// input. The built-in heuristics' names already encode every parameter,
+  /// so the default suffices; override when adding a heuristic whose name
+  /// omits configuration.
+  [[nodiscard]] virtual std::string cache_key() const { return name(); }
 };
 
 /// T = the q-th percentile of the training distribution. The paper's

@@ -22,7 +22,10 @@ ThresholdAssignment assign_thresholds(
   out.threshold_of_group.resize(out.groups.group_count);
   // Groups are independent (each pools its own members and runs the
   // heuristic on the pooled distribution), so they shard across threads;
-  // each shard writes only threshold_of_group[g].
+  // each shard writes only threshold_of_group[g]. Pooling k-way-merges the
+  // members' already-sorted sample spans into a per-worker scratch buffer —
+  // no per-member copies, no re-sort — and hands the heuristic a non-owning
+  // view over that buffer (valid for the duration of compute()).
   util::parallel_for(
       out.groups.group_count,
       [&](std::size_t g) {
@@ -32,10 +35,13 @@ ThresholdAssignment assign_thresholds(
               heuristic.compute(training_users[members[g].front()], attack);
           return;
         }
-        std::vector<stats::EmpiricalDistribution> parts;
-        parts.reserve(members[g].size());
-        for (std::uint32_t u : members[g]) parts.push_back(training_users[u]);
-        const auto pooled = stats::EmpiricalDistribution::merge(parts);
+        thread_local std::vector<std::span<const double>> spans;
+        thread_local std::vector<double> pooled_buffer;
+        spans.clear();
+        spans.reserve(members[g].size());
+        for (std::uint32_t u : members[g]) spans.push_back(training_users[u].samples());
+        stats::merge_sorted_spans(spans, pooled_buffer);
+        const auto pooled = stats::EmpiricalDistribution::view_of_sorted(pooled_buffer);
         out.threshold_of_group[g] = heuristic.compute(pooled, attack);
       },
       threads);

@@ -1,9 +1,19 @@
 #include "sim/scenario.hpp"
 
+#include "sim/analysis_cache.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace monohids::sim {
+
+AnalysisCache& Scenario::analysis() const {
+  // A cache created by another Scenario (via copy) references that
+  // scenario's matrices; rebuild so lookups always cover *these* matrices.
+  if (analysis_cache == nullptr || !analysis_cache->covers(matrices)) {
+    analysis_cache = std::make_shared<AnalysisCache>(matrices);
+  }
+  return *analysis_cache;
+}
 
 Scenario build_scenario(const ScenarioConfig& config) {
   Scenario scenario;

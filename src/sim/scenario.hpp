@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "features/time_series.hpp"
@@ -14,6 +15,8 @@
 #include "trace/population.hpp"
 
 namespace monohids::sim {
+
+class AnalysisCache;
 
 struct ScenarioConfig {
   trace::PopulationConfig population;
@@ -44,6 +47,20 @@ struct Scenario {
   [[nodiscard]] std::uint32_t user_count() const noexcept {
     return static_cast<std::uint32_t>(users.size());
   }
+
+  /// The scenario's lazily-created analysis cache (sim/analysis_cache.hpp):
+  /// memoized per-week distributions, threshold assignments and attack
+  /// models over `matrices`. Every experiment runner shares this one
+  /// substrate. The cache references `matrices` — do not mutate them after
+  /// first use; a copied Scenario gets its own fresh cache on first access.
+  /// Lazy creation is not synchronized: take the first reference from a
+  /// single thread (the cache itself is thread-safe afterwards).
+  [[nodiscard]] AnalysisCache& analysis() const;
+
+  /// Shared handle for callers that need to extend the cache's lifetime
+  /// beyond the Scenario (the arena-backed distributions it hands out stay
+  /// valid on their own; the cache needs `matrices` only to fill misses).
+  mutable std::shared_ptr<AnalysisCache> analysis_cache;
 };
 
 /// Generates the full scenario (population + all feature matrices). This is

@@ -1,20 +1,42 @@
 #include "stats/empirical.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numeric>
+#include <queue>
 
 #include "stats/quantile.hpp"
 #include "util/error.hpp"
 
 namespace monohids::stats {
 
-EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
-    : sorted_(std::move(samples)) {
-  for (double v : sorted_) {
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples) {
+  for (double v : samples) {
     MONOHIDS_EXPECT(std::isfinite(v), "empirical samples must be finite");
   }
-  std::sort(sorted_.begin(), sorted_.end());
+  std::sort(samples.begin(), samples.end());
+  auto arena = std::make_shared<const std::vector<double>>(std::move(samples));
+  sorted_ = std::span<const double>(*arena);
+  storage_ = std::move(arena);
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sorted, sorted_tag) {
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  auto arena = std::make_shared<const std::vector<double>>(std::move(sorted));
+  sorted_ = std::span<const double>(*arena);
+  storage_ = std::move(arena);
+}
+
+EmpiricalDistribution EmpiricalDistribution::from_sorted(std::vector<double> sorted) {
+  return EmpiricalDistribution(std::move(sorted), sorted_tag{});
+}
+
+EmpiricalDistribution EmpiricalDistribution::view_of_sorted(std::span<const double> sorted) {
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  EmpiricalDistribution view;
+  view.sorted_ = sorted;
+  return view;
 }
 
 double EmpiricalDistribution::min() const {
@@ -76,15 +98,55 @@ double EmpiricalDistribution::max_hidden_shift(double t, double target_mass) con
 
 EmpiricalDistribution EmpiricalDistribution::merge(
     std::span<const EmpiricalDistribution> parts) {
+  std::vector<std::span<const double>> spans;
+  spans.reserve(parts.size());
+  for (const auto& p : parts) spans.push_back(p.samples());
+  std::vector<double> all;
+  merge_sorted_spans(spans, all);
+  return from_sorted(std::move(all));
+}
+
+void merge_sorted_spans(std::span<const std::span<const double>> parts,
+                        std::vector<double>& out) {
+  out.clear();
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();
-  std::vector<double> all;
-  all.reserve(total);
-  for (const auto& p : parts) {
-    const auto s = p.samples();
-    all.insert(all.end(), s.begin(), s.end());
+  out.reserve(total);
+
+  if (parts.size() == 1) {
+    out.insert(out.end(), parts[0].begin(), parts[0].end());
+    return;
   }
-  return EmpiricalDistribution(std::move(all));
+  if (parts.size() == 2) {
+    std::merge(parts[0].begin(), parts[0].end(), parts[1].begin(), parts[1].end(),
+               std::back_inserter(out));
+    return;
+  }
+
+  // Min-heap of (next value, part index); cursors track consumption.
+  struct Head {
+    double value;
+    std::size_t part;
+  };
+  const auto greater = [](const Head& a, const Head& b) { return a.value > b.value; };
+  std::vector<Head> heap;
+  std::vector<std::size_t> cursor(parts.size(), 0);
+  heap.reserve(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    if (!parts[p].empty()) heap.push_back({parts[p][0], p});
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const Head head = heap.back();
+    heap.pop_back();
+    out.push_back(head.value);
+    const std::size_t next = ++cursor[head.part];
+    if (next < parts[head.part].size()) {
+      heap.push_back({parts[head.part][next], head.part});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
 }
 
 }  // namespace monohids::stats

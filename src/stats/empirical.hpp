@@ -3,10 +3,18 @@
 // The paper treats each time-bin count as a sample of the per-host feature
 // distribution P(g_i^j) and derives everything — thresholds, false-positive
 // rates P(g > T), mimicry head-room — from the empirical CDF. This class is
-// that CDF: it owns a sorted sample vector and answers quantile /
-// (c)CDF / convolution-style queries exactly.
+// that CDF: it answers quantile / (c)CDF / convolution-style queries exactly
+// over a sorted sample sequence.
+//
+// Ownership model: the sorted samples live in an immutable, shared arena
+// (a reference-counted vector). Copying an EmpiricalDistribution copies a
+// pointer + span, never the samples, so the same per-user distributions can
+// be handed to many experiments zero-copy (the sim::AnalysisCache relies on
+// this). Non-owning views over externally sorted buffers are available via
+// view_of_sorted() for transient pooled distributions.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,11 +24,25 @@ class EmpiricalDistribution {
  public:
   EmpiricalDistribution() = default;
 
-  /// Builds from raw samples (copied and sorted). Samples must be finite.
+  /// Builds from raw samples (moved into the arena and sorted). Samples
+  /// must be finite.
   explicit EmpiricalDistribution(std::vector<double> samples);
+
+  /// Builds from already-sorted samples without re-sorting (moved into the
+  /// arena). The caller vouches for ascending order; debug builds assert it.
+  [[nodiscard]] static EmpiricalDistribution from_sorted(std::vector<double> sorted);
+
+  /// Non-owning view over an externally owned ascending buffer. The view
+  /// answers every query of an owning distribution but holds no arena: it
+  /// is valid only while `sorted` outlives it and is not reallocated or
+  /// reordered. Used for scratch pooled distributions whose backing buffer
+  /// is reused (see hids::assign_thresholds).
+  [[nodiscard]] static EmpiricalDistribution view_of_sorted(std::span<const double> sorted);
 
   [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  /// True when this instance (co-)owns its samples; false for views.
+  [[nodiscard]] bool owns_samples() const noexcept { return storage_ != nullptr || sorted_.empty(); }
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
@@ -54,12 +76,23 @@ class EmpiricalDistribution {
   [[nodiscard]] double max_hidden_shift(double t, double target_mass) const;
 
   /// Merges several distributions into the pooled (global) distribution the
-  /// paper's homogeneous policy builds at the central console.
+  /// paper's homogeneous policy builds at the central console. Implemented
+  /// as a k-way merge of the parts' already-sorted samples (no re-sort).
   [[nodiscard]] static EmpiricalDistribution merge(
       std::span<const EmpiricalDistribution> parts);
 
  private:
-  std::vector<double> sorted_;
+  struct sorted_tag {};
+  EmpiricalDistribution(std::vector<double> sorted, sorted_tag);
+
+  std::shared_ptr<const std::vector<double>> storage_;  ///< arena (null for views)
+  std::span<const double> sorted_;                      ///< ascending samples
 };
+
+/// K-way merges ascending spans into `out` (cleared first, capacity reused
+/// across calls). The result is the ascending multiset union of the parts —
+/// element-for-element what sorting their concatenation produces.
+void merge_sorted_spans(std::span<const std::span<const double>> parts,
+                        std::vector<double>& out);
 
 }  // namespace monohids::stats

@@ -1,0 +1,180 @@
+// sim::AnalysisCache: memoized week distributions / threshold assignments /
+// attack models must be (a) bit-identical to the direct computations,
+// (b) served from memory on repeat lookups, (c) keyed finely enough that
+// differently-parameterized policies never collide, and (d) safe under
+// concurrent lookups.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/analysis_cache.hpp"
+#include "sim/experiments.hpp"
+#include "sim/scenario.hpp"
+
+namespace monohids::sim {
+namespace {
+
+using features::FeatureKind;
+
+const Scenario& shared_scenario() {
+  static const Scenario scenario = [] {
+    ScenarioConfig config;
+    config.set_users(20);
+    config.set_weeks(2);
+    config.set_seed(777);
+    return build_scenario(config);
+  }();
+  return scenario;
+}
+
+TEST(AnalysisCache, WeekMatchesDirectComputation) {
+  const auto& scenario = shared_scenario();
+  AnalysisCache cache(scenario.matrices);
+  const auto cached = cache.week(FeatureKind::TcpConnections, 0);
+  const auto direct =
+      hids::week_distributions(scenario.matrices, FeatureKind::TcpConnections, 0);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (std::size_t u = 0; u < direct.size(); ++u) {
+    const auto a = (*cached)[u].samples();
+    const auto b = direct[u].samples();
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "user " << u;
+  }
+}
+
+TEST(AnalysisCache, RepeatLookupsShareOneResult) {
+  AnalysisCache cache(shared_scenario().matrices);
+  const auto first = cache.week(FeatureKind::TcpConnections, 0);
+  const auto second = cache.week(FeatureKind::TcpConnections, 0);
+  EXPECT_EQ(first.get(), second.get());  // same arena, zero rebuild
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, 1u);
+}
+
+TEST(AnalysisCache, DistinctKeysAreDistinctEntries) {
+  AnalysisCache cache(shared_scenario().matrices);
+  const auto a = cache.week(FeatureKind::TcpConnections, 0);
+  const auto b = cache.week(FeatureKind::TcpConnections, 1);
+  const auto c = cache.week(FeatureKind::DistinctConnections, 0);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.counters().misses, 3u);
+}
+
+TEST(AnalysisCache, ThresholdsMatchAssignThresholds) {
+  const auto& scenario = shared_scenario();
+  AnalysisCache cache(scenario.matrices);
+  const hids::KneePartialGrouper grouper;
+  const hids::UtilityHeuristic heuristic(0.4);
+  hids::AttackModel attack;
+  attack.sizes = {2.0, 20.0, 200.0};
+
+  const auto cached =
+      cache.thresholds(FeatureKind::TcpConnections, 0, grouper, heuristic, &attack);
+  const auto train =
+      hids::week_distributions(scenario.matrices, FeatureKind::TcpConnections, 0);
+  const auto direct = hids::assign_thresholds(train, grouper, heuristic, &attack);
+  EXPECT_EQ(cached->threshold_of_user, direct.threshold_of_user);
+  EXPECT_EQ(cached->threshold_of_group, direct.threshold_of_group);
+  EXPECT_EQ(cached->groups.group_of_user, direct.groups.group_of_user);
+
+  // Same key again: served from memory.
+  const auto again =
+      cache.thresholds(FeatureKind::TcpConnections, 0, grouper, heuristic, &attack);
+  EXPECT_EQ(cached.get(), again.get());
+}
+
+TEST(AnalysisCache, ParameterizedPoliciesDoNotCollide) {
+  AnalysisCache cache(shared_scenario().matrices);
+  const hids::PercentileHeuristic p99(0.99);
+  const hids::PercentileHeuristic p95(0.95);
+  const auto a = cache.thresholds(FeatureKind::TcpConnections, 0,
+                                  hids::EqualFrequencyGrouper(4), p99, nullptr);
+  const auto b = cache.thresholds(FeatureKind::TcpConnections, 0,
+                                  hids::EqualFrequencyGrouper(4), p95, nullptr);
+  const auto c = cache.thresholds(FeatureKind::TcpConnections, 0,
+                                  hids::EqualFrequencyGrouper(4, 0.5), p99, nullptr);
+  EXPECT_NE(a->threshold_of_user, b->threshold_of_user);
+  EXPECT_NE(a.get(), c.get());  // pivot quantile is part of the key
+
+  // Attack sweep is part of the key for FN-aware heuristics.
+  hids::AttackModel small, large;
+  small.sizes = {1.0};
+  large.sizes = {1.0, 1000.0};
+  const hids::UtilityHeuristic utility(0.4);
+  const auto d = cache.thresholds(FeatureKind::TcpConnections, 0,
+                                  hids::HomogeneousGrouper{}, utility, &small);
+  const auto e = cache.thresholds(FeatureKind::TcpConnections, 0,
+                                  hids::HomogeneousGrouper{}, utility, &large);
+  EXPECT_NE(d.get(), e.get());
+}
+
+TEST(AnalysisCache, AttackModelMatchesMakeAttackModel) {
+  const auto& scenario = shared_scenario();
+  const auto cached = scenario.analysis().attack_model(FeatureKind::TcpConnections, 0);
+  const auto direct = make_attack_model(scenario, FeatureKind::TcpConnections, 0);
+  EXPECT_EQ(cached->sizes, direct.sizes);
+  const auto again = scenario.analysis().attack_model(FeatureKind::TcpConnections, 0);
+  EXPECT_EQ(cached.get(), again.get());
+}
+
+TEST(AnalysisCache, BypassRecomputesEveryCall) {
+  AnalysisCache cache(shared_scenario().matrices);
+  cache.set_bypass(true);
+  const auto a = cache.week(FeatureKind::TcpConnections, 0);
+  const auto b = cache.week(FeatureKind::TcpConnections, 0);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.counters().hits, 0u);
+  const auto sa = (*a)[0].samples();
+  const auto sb = (*b)[0].samples();
+  EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+}
+
+TEST(AnalysisCache, ClearDropsEntriesButKeepsHandlesValid) {
+  AnalysisCache cache(shared_scenario().matrices);
+  const auto before = cache.week(FeatureKind::TcpConnections, 0);
+  cache.clear();
+  const auto after = cache.week(FeatureKind::TcpConnections, 0);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_FALSE((*before)[0].samples().empty());  // old handle still alive
+}
+
+TEST(AnalysisCache, ScenarioAccessorIsStableAndInvalidatesOnCopy) {
+  const auto& scenario = shared_scenario();
+  auto& first = scenario.analysis();
+  auto& second = scenario.analysis();
+  EXPECT_EQ(&first, &second);
+
+  // A copied scenario has its own matrices; the shared cache handle must
+  // not serve lookups against the original's storage.
+  const Scenario copy = scenario;
+  auto& copy_cache = copy.analysis();
+  EXPECT_NE(&copy_cache, &first);
+  EXPECT_TRUE(copy_cache.covers(copy.matrices));
+  EXPECT_FALSE(copy_cache.covers(scenario.matrices));
+}
+
+TEST(AnalysisCache, ConcurrentSameKeyLookupsComputeOnce) {
+  AnalysisCache cache(shared_scenario().matrices);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const AnalysisCache::DistributionSet>> results(kThreads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      // threads=1 keeps the inner build serial: the pool is irrelevant to
+      // what this test pins (one compute, everyone shares it).
+      workers.emplace_back(
+          [&, t] { results[t] = cache.week(FeatureKind::TcpConnections, 0, 1); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.counters().hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace monohids::sim

@@ -9,6 +9,7 @@
 
 #include "hids/evaluator.hpp"
 #include "hids/attacker.hpp"
+#include "sim/analysis_cache.hpp"
 #include "sim/scenario.hpp"
 
 namespace monohids::sim {
@@ -81,6 +82,63 @@ TEST(ParallelDeterminism, EvaluationOutcomesMatchSerial) {
         << "user " << u;
   }
   ASSERT_EQ(parallel.utilities(0.4), serial.utilities(0.4));
+}
+
+TEST(ParallelDeterminism, CachedEvaluationMatchesUncachedForAnyThreadCount) {
+  const auto scenario = build_scenario(tiny(1));
+  const std::vector<hids::EvaluationRound> rounds{{0, 1}};
+  hids::AttackModel attack;
+  attack.sizes = {5.0, 50.0, 500.0};
+  const hids::UtilityHeuristic heuristic(0.4);
+  const hids::KneePartialGrouper grouper;
+
+  // Reference: uncached, serial.
+  const auto reference = hids::evaluate_rounds(scenario.matrices,
+                                               FeatureKind::TcpConnections, rounds,
+                                               grouper, heuristic, attack, 1);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    // Fresh cache per thread count: every artifact is computed at that
+    // shard count and must still be bit-identical to the serial uncached
+    // run — both on first (cold) and second (fully warm) evaluation.
+    AnalysisCache cache(scenario.matrices);
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto cached = hids::evaluate_rounds(scenario.matrices,
+                                                FeatureKind::TcpConnections, rounds,
+                                                grouper, heuristic, attack, threads, &cache);
+      ASSERT_EQ(cached.users.size(), reference.users.size());
+      for (std::size_t u = 0; u < reference.users.size(); ++u) {
+        ASSERT_EQ(cached.users[u].threshold, reference.users[u].threshold)
+            << threads << " threads, pass " << pass << ", user " << u;
+        ASSERT_EQ(cached.users[u].group, reference.users[u].group) << "user " << u;
+        ASSERT_EQ(cached.users[u].fp_rate, reference.users[u].fp_rate)
+            << threads << " threads, pass " << pass << ", user " << u;
+        ASSERT_EQ(cached.users[u].fn_rate, reference.users[u].fn_rate)
+            << threads << " threads, pass " << pass << ", user " << u;
+        ASSERT_EQ(cached.users[u].weekly_false_alarms,
+                  reference.users[u].weekly_false_alarms)
+            << "user " << u;
+      }
+    }
+    // Two passes, one round each: the second pass must be all hits.
+    EXPECT_GT(cache.counters().hits, 0u) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, CachedWeekDistributionsMatchDirectAcrossThreadCounts) {
+  const auto scenario = build_scenario(tiny(1));
+  const auto direct = hids::week_distributions(scenario.matrices,
+                                               FeatureKind::TcpConnections, 0, 1);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    AnalysisCache cache(scenario.matrices);
+    const auto cached = cache.week(FeatureKind::TcpConnections, 0, threads);
+    ASSERT_EQ(cached->size(), direct.size());
+    for (std::size_t u = 0; u < direct.size(); ++u) {
+      const auto sa = (*cached)[u].samples();
+      const auto sb = direct[u].samples();
+      ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()))
+          << threads << " threads, user " << u;
+    }
+  }
 }
 
 TEST(ParallelDeterminism, DetectionCurveMatchesSerial) {

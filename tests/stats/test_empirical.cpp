@@ -165,5 +165,90 @@ TEST(Empirical, QuantileMatchesNearestRankDefinition) {
   EXPECT_DOUBLE_EQ(d.quantile_interpolated(0.5), 3.0);
 }
 
+TEST(Empirical, CopySharesSortedArena) {
+  const auto original = dist({3, 1, 2});
+  const auto copy = original;  // zero-copy: pointer + span, not samples
+  EXPECT_EQ(copy.samples().data(), original.samples().data());
+  EXPECT_TRUE(copy.owns_samples());
+}
+
+TEST(Empirical, FromSortedMatchesSortingConstructor) {
+  const auto sorted = EmpiricalDistribution::from_sorted({1, 2, 2, 7});
+  const auto resorted = dist({7, 2, 1, 2});
+  const auto a = sorted.samples();
+  const auto b = resorted.samples();
+  ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  EXPECT_DOUBLE_EQ(sorted.quantile(0.5), resorted.quantile(0.5));
+}
+
+TEST(Empirical, ViewOfSortedAnswersOwningQueries) {
+  const std::vector<double> buffer{1, 2, 2, 5, 9};
+  const auto view = EmpiricalDistribution::view_of_sorted(buffer);
+  const auto owning = dist({9, 5, 2, 2, 1});
+  EXPECT_FALSE(view.owns_samples());
+  EXPECT_EQ(view.samples().data(), buffer.data());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(view.quantile(q), owning.quantile(q));
+  }
+  for (double x : {0.0, 2.0, 5.5, 9.0}) {
+    EXPECT_DOUBLE_EQ(view.cdf(x), owning.cdf(x));
+    EXPECT_DOUBLE_EQ(view.exceedance(x), owning.exceedance(x));
+  }
+  EXPECT_DOUBLE_EQ(view.mean(), owning.mean());
+  EXPECT_DOUBLE_EQ(view.max_hidden_shift(5.0, 0.8), owning.max_hidden_shift(5.0, 0.8));
+}
+
+TEST(Empirical, MergeSortedSpansMatchesMergeOnRandomizedInputs) {
+  util::Xoshiro256 rng(12345);
+  std::vector<double> buffer;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t part_count = 1 + static_cast<std::size_t>(rng.uniform01() * 7.0);
+    std::vector<EmpiricalDistribution> parts;
+    for (std::size_t p = 0; p < part_count; ++p) {
+      const auto n = static_cast<std::size_t>(rng.uniform01() * 40.0);
+      std::vector<double> samples;
+      samples.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Coarse grid forces cross-part duplicates, the k-way merge's
+        // interesting case.
+        samples.push_back(std::floor(rng.uniform01() * 20.0));
+      }
+      parts.emplace_back(std::move(samples));
+    }
+    std::vector<std::span<const double>> spans;
+    for (const auto& p : parts) spans.push_back(p.samples());
+    merge_sorted_spans(spans, buffer);  // buffer deliberately reused across trials
+
+    const auto reference = EmpiricalDistribution::merge(parts);
+    const auto expected = reference.samples();
+    ASSERT_EQ(buffer.size(), expected.size()) << "trial " << trial;
+    ASSERT_TRUE(std::equal(buffer.begin(), buffer.end(), expected.begin(), expected.end()))
+        << "trial " << trial;
+
+    // And merge() itself equals concatenate-then-sort.
+    std::vector<double> concat;
+    for (const auto& p : parts) {
+      const auto s = p.samples();
+      concat.insert(concat.end(), s.begin(), s.end());
+    }
+    const auto flat_dist = EmpiricalDistribution(std::move(concat));
+    const auto flat = flat_dist.samples();
+    ASSERT_TRUE(std::equal(flat.begin(), flat.end(), expected.begin(), expected.end()))
+        << "trial " << trial;
+  }
+}
+
+TEST(Empirical, MergeSortedSpansHandlesEmptyParts) {
+  std::vector<double> buffer{99, 98};  // stale contents must be cleared
+  merge_sorted_spans({}, buffer);
+  EXPECT_TRUE(buffer.empty());
+
+  const std::vector<double> a{1, 3};
+  const std::vector<double> empty;
+  const std::vector<std::span<const double>> spans{a, empty, a};
+  merge_sorted_spans(spans, buffer);
+  EXPECT_EQ(buffer, (std::vector<double>{1, 1, 3, 3}));
+}
+
 }  // namespace
 }  // namespace monohids::stats
