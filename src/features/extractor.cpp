@@ -4,45 +4,21 @@
 
 namespace monohids::features {
 
+void DistinctIpSet::grow() {
+  std::vector<std::uint64_t> old;
+  old.swap(slots_);
+  slots_.assign(old.size() * 2, 0);
+  const std::size_t mask = slots_.size() - 1;
+  for (const std::uint64_t marker : old) {
+    if (marker == 0) continue;
+    std::size_t i = static_cast<std::size_t>((marker * 0x9e3779b97f4a7c15ULL) >> 32) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = marker;
+  }
+}
+
 FeatureExtractor::FeatureExtractor(util::BinGrid grid, util::Duration horizon) : grid_(grid) {
   for (auto& s : matrix_.series) s = BinnedSeries(grid, horizon);
-}
-
-void FeatureExtractor::on_packet(const net::PacketRecord& packet, net::Ipv4Address monitored) {
-  MONOHIDS_EXPECT(!finished_, "extractor already finished");
-  if (packet.tuple.src_ip != monitored) return;  // per-source: outbound only
-  if (packet.tuple.protocol == net::Protocol::Tcp &&
-      has_flag(packet.tcp_flags, net::TcpFlags::Syn) &&
-      !has_flag(packet.tcp_flags, net::TcpFlags::Ack)) {
-    matrix_.of(FeatureKind::TcpSyn).add_at(packet.timestamp);
-  }
-}
-
-void FeatureExtractor::on_flow_event(const net::FlowEvent& event) {
-  MONOHIDS_EXPECT(!finished_, "extractor already finished");
-  if (event.kind != net::FlowEventKind::Start) return;
-  if (!event.initiated_by_monitored_host) return;
-
-  const net::Service service = net::classify(event.tuple);
-  const util::Timestamp t = event.timestamp;
-
-  // Service-specific connection counters.
-  if (service == net::Service::Dns) {
-    matrix_.of(FeatureKind::DnsConnections).add_at(t);
-  }
-  if (service == net::Service::Http) {
-    matrix_.of(FeatureKind::HttpConnections).add_at(t);
-  }
-  if (event.tuple.protocol == net::Protocol::Tcp) {
-    matrix_.of(FeatureKind::TcpConnections).add_at(t);
-  } else if (event.tuple.protocol == net::Protocol::Udp) {
-    matrix_.of(FeatureKind::UdpConnections).add_at(t);
-  }
-
-  // Distinct destinations per bin.
-  const std::uint64_t bin = grid_.bin_of(t);
-  if (bin != current_distinct_bin_) roll_distinct_bin(bin);
-  distinct_dsts_.insert(event.tuple.dst_ip);
 }
 
 void FeatureExtractor::roll_distinct_bin(std::uint64_t new_bin) {

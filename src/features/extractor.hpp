@@ -6,15 +6,61 @@
 // SYN packets (so SYN floods with retransmissions register at full
 // strength); num-distinct-connections counts distinct destination IPs
 // contacted within each bin.
+//
+// The per-event observers are defined inline: they sit on the streaming
+// ingest hot path (once per packet / once per connection), so the grid
+// division is cached per bin and the distinct-destination set is a flat
+// open-addressing table rather than a node-based std::unordered_set.
 #pragma once
 
-#include <unordered_set>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "features/time_series.hpp"
 #include "net/classify.hpp"
 #include "net/flow_table.hpp"
 
 namespace monohids::features {
+
+/// Flat open-addressing hash set of IPv4 addresses, sized for the per-bin
+/// distinct-destination count. Linear probing over a power-of-two array of
+/// value+1 markers (0 = empty slot), Fibonacci-multiplied start slot: an
+/// insert is a few cache-resident loads, where std::unordered_set pays a
+/// prime modulo plus a node allocation per new element.
+class DistinctIpSet {
+ public:
+  DistinctIpSet() : slots_(kMinSlots, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    if (size_ != 0) std::fill(slots_.begin(), slots_.end(), 0);
+    size_ = 0;
+  }
+
+  void insert(net::Ipv4Address ip) {
+    const std::uint64_t marker = std::uint64_t{ip.value()} + 1;  // 0 marks empty
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>((marker * 0x9e3779b97f4a7c15ULL) >> 32) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == marker) return;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = marker;
+    ++size_;
+    if (size_ * 4 > slots_.size() * 3) grow();
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 64;
+
+  void grow();
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
 
 class FeatureExtractor {
  public:
@@ -23,10 +69,42 @@ class FeatureExtractor {
 
   /// Observes a packet (for raw-SYN counting). Must be called in time order,
   /// interleaved with on_flow_event as the pipeline advances.
-  void on_packet(const net::PacketRecord& packet, net::Ipv4Address monitored);
+  void on_packet(const net::PacketRecord& packet, net::Ipv4Address monitored) {
+    MONOHIDS_EXPECT(!finished_, "extractor already finished");
+    if (packet.tuple.src_ip != monitored) return;  // per-source: outbound only
+    if (packet.tuple.protocol == net::Protocol::Tcp &&
+        has_flag(packet.tcp_flags, net::TcpFlags::Syn) &&
+        !has_flag(packet.tcp_flags, net::TcpFlags::Ack)) {
+      matrix_.of(FeatureKind::TcpSyn).add_bin(bin_of_cached(packet.timestamp));
+    }
+  }
 
   /// Observes a flow event from the flow table.
-  void on_flow_event(const net::FlowEvent& event);
+  void on_flow_event(const net::FlowEvent& event) {
+    MONOHIDS_EXPECT(!finished_, "extractor already finished");
+    if (event.kind != net::FlowEventKind::Start) return;
+    if (!event.initiated_by_monitored_host) return;
+
+    const net::Service service = net::classify(event.tuple);
+    const std::uint64_t bin = bin_of_cached(event.timestamp);
+
+    // Service-specific connection counters.
+    if (service == net::Service::Dns) {
+      matrix_.of(FeatureKind::DnsConnections).add_bin(bin);
+    }
+    if (service == net::Service::Http) {
+      matrix_.of(FeatureKind::HttpConnections).add_bin(bin);
+    }
+    if (event.tuple.protocol == net::Protocol::Tcp) {
+      matrix_.of(FeatureKind::TcpConnections).add_bin(bin);
+    } else if (event.tuple.protocol == net::Protocol::Udp) {
+      matrix_.of(FeatureKind::UdpConnections).add_bin(bin);
+    }
+
+    // Distinct destinations per bin.
+    if (bin != current_distinct_bin_) roll_distinct_bin(bin);
+    distinct_dsts_.insert(event.tuple.dst_ip);
+  }
 
   /// Finalizes the in-progress distinct-destination bin. Call once, after
   /// the last packet.
@@ -38,10 +116,26 @@ class FeatureExtractor {
  private:
   void roll_distinct_bin(std::uint64_t new_bin);
 
+  /// grid().bin_of(t) with the current bin's bounds cached: the 64-bit
+  /// division only runs when `t` leaves the cached bin, which for the
+  /// pipeline's time-ordered streams means once per bin, not once per
+  /// event. Pure — any out-of-range `t` simply recomputes.
+  [[nodiscard]] std::uint64_t bin_of_cached(util::Timestamp t) noexcept {
+    if (t < bin_lo_ || t >= bin_hi_) [[unlikely]] {
+      cached_bin_ = grid_.bin_of(t);
+      bin_lo_ = cached_bin_ * static_cast<std::uint64_t>(grid_.width());
+      bin_hi_ = bin_lo_ + static_cast<std::uint64_t>(grid_.width());
+    }
+    return cached_bin_;
+  }
+
   FeatureMatrix matrix_;
   util::BinGrid grid_;
+  std::uint64_t cached_bin_ = 0;
+  util::Timestamp bin_lo_ = 0;
+  util::Timestamp bin_hi_ = 0;  ///< cache covers [bin_lo_, bin_hi_)
   std::uint64_t current_distinct_bin_ = 0;
-  std::unordered_set<net::Ipv4Address> distinct_dsts_;
+  DistinctIpSet distinct_dsts_;
   bool finished_ = false;
 };
 

@@ -2,12 +2,100 @@
 
 #include <algorithm>
 
+#include "net/flow_table_ref.hpp"
+#include "util/error.hpp"
+
 namespace monohids::features {
+
+BatchingAdapter::BatchingAdapter(PacketSink& sink, std::size_t max_batch)
+    : sink_(&sink), max_batch_(max_batch) {
+  MONOHIDS_EXPECT(max_batch > 0, "ingest batch size must be positive");
+  buffer_.reserve(max_batch);
+}
+
+void BatchingAdapter::flush() {
+  if (buffer_.empty()) return;
+  sink_->on_batch(buffer_);
+  buffer_.clear();
+}
+
+std::uint64_t BatchingAdapter::finish() {
+  flush();
+  return count_;
+}
+
+IngestSession::IngestSession(net::Ipv4Address monitored, const PipelineConfig& config)
+    : monitored_(monitored),
+      horizon_(config.horizon),
+      table_(monitored, config.flow_config),
+      extractor_(config.grid, config.horizon) {}
+
+void IngestSession::on_batch(std::span<const net::PacketRecord> batch) {
+  MONOHIDS_EXPECT(!finished_, "IngestSession already finished");
+  // The flow table's batch loop runs uninterrupted (its hot path inlines in
+  // one translation unit), then the chunk's flow events and SYN packets feed
+  // the extractor in two passes. Splitting the streams is exact: on_packet
+  // only touches the TcpSyn series and on_flow_event only the other five, so
+  // no single series sees its updates reordered. Chunking (rather than one
+  // pass over the whole batch) keeps the pending-event buffer bounded even
+  // when a caller hands us an entire trace in one span.
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t at = 0; at < batch.size(); at += kChunk) {
+    const auto chunk = batch.subspan(at, std::min(kChunk, batch.size() - at));
+    table_.process_batch(chunk);
+    for (const net::FlowEvent& event : table_.pending_events()) {
+      // Same filter the extractor applies first thing; hoisting it here
+      // skips the call for End events and inbound-initiated flows.
+      if (event.kind == net::FlowEventKind::Start && event.initiated_by_monitored_host) {
+        extractor_.on_flow_event(event);
+      }
+    }
+    table_.clear_events();
+    for (const net::PacketRecord& packet : chunk) {
+      // Pre-filter: only outbound TCP SYNs can contribute to a feature (the
+      // extractor applies the same test, so skipped calls were no-ops).
+      if (packet.tuple.src_ip == monitored_ &&
+          packet.tuple.protocol == net::Protocol::Tcp &&
+          has_flag(packet.tcp_flags, net::TcpFlags::Syn)) {
+        extractor_.on_packet(packet, monitored_);
+      }
+    }
+  }
+  if (!batch.empty()) last_seen_ = batch.back().timestamp;
+}
+
+void IngestSession::push(const net::PacketRecord& packet) {
+  on_batch(std::span<const net::PacketRecord>(&packet, 1));
+}
+
+PipelineResult IngestSession::finish() {
+  MONOHIDS_EXPECT(!finished_, "IngestSession already finished");
+  // End-of-trace flush at the later of the horizon and the last observed
+  // timestamp: flushing at horizon - 1 rejected traces whose final packet
+  // landed in the last bin's closing microsecond (or past the horizon), and
+  // mislabeled flows still active there as if time had run out early.
+  table_.flush(std::max<util::Timestamp>(horizon_, last_seen_));
+  for (const net::FlowEvent& event : table_.pending_events()) {
+    extractor_.on_flow_event(event);
+  }
+  table_.clear_events();
+  extractor_.finish();
+  finished_ = true;
+  return PipelineResult{extractor_.matrix(), table_.stats()};
+}
 
 PipelineResult extract_features(net::Ipv4Address monitored,
                                 std::span<const net::PacketRecord> packets,
                                 const PipelineConfig& config) {
-  net::FlowTable table(monitored, config.flow_config);
+  IngestSession session(monitored, config);
+  session.on_batch(packets);
+  return session.finish();
+}
+
+PipelineResult extract_features_reference(net::Ipv4Address monitored,
+                                          std::span<const net::PacketRecord> packets,
+                                          const PipelineConfig& config) {
+  net::ReferenceFlowTable table(monitored, config.flow_config);
   FeatureExtractor extractor(config.grid, config.horizon);
 
   for (const net::PacketRecord& packet : packets) {
@@ -17,10 +105,6 @@ PipelineResult extract_features(net::Ipv4Address monitored,
       extractor.on_flow_event(event);
     }
   }
-  // End-of-trace flush at the later of the horizon and the last observed
-  // timestamp: flushing at horizon - 1 rejected traces whose final packet
-  // landed in the last bin's closing microsecond (or past the horizon), and
-  // mislabeled flows still active there as if time had run out early.
   const util::Timestamp last_seen = packets.empty() ? 0 : packets.back().timestamp;
   table.flush(std::max<util::Timestamp>(config.horizon, last_seen));
   for (const net::FlowEvent& event : table.drain_events()) {

@@ -10,12 +10,6 @@ BinnedSeries::BinnedSeries(util::BinGrid grid, util::Duration horizon) : grid_(g
   counts_.assign(grid.bin_count(horizon), 0.0);
 }
 
-void BinnedSeries::add_at(util::Timestamp t, double amount) {
-  const std::uint64_t bin = grid_.bin_of(t);
-  MONOHIDS_EXPECT(bin < counts_.size(), "timestamp beyond series horizon");
-  counts_[bin] += amount;
-}
-
 double BinnedSeries::at(std::size_t bin) const {
   MONOHIDS_EXPECT(bin < counts_.size(), "bin index out of range");
   return counts_[bin];

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "features/feature.hpp"
+#include "util/error.hpp"
 #include "util/sim_time.hpp"
 
 namespace monohids::features {
@@ -30,7 +31,19 @@ class BinnedSeries {
   }
 
   /// Adds `amount` to the bin containing `t`. `t` must be inside the horizon.
-  void add_at(util::Timestamp t, double amount = 1.0);
+  /// Defined inline: this is the feature pipeline's per-event hot path.
+  void add_at(util::Timestamp t, double amount = 1.0) {
+    const std::uint64_t bin = grid_.bin_of(t);
+    MONOHIDS_EXPECT(bin < counts_.size(), "timestamp beyond series horizon");
+    counts_[bin] += amount;
+  }
+
+  /// Adds `amount` to bin `bin` (a grid().bin_of() result). Hot-path variant
+  /// for callers that already derived the bin and add to several series.
+  void add_bin(std::uint64_t bin, double amount = 1.0) {
+    MONOHIDS_EXPECT(bin < counts_.size(), "timestamp beyond series horizon");
+    counts_[bin] += amount;
+  }
 
   /// Direct bin access.
   [[nodiscard]] double at(std::size_t bin) const;

@@ -2,24 +2,6 @@
 
 namespace monohids::net {
 
-Service classify(const FiveTuple& tuple) noexcept {
-  switch (tuple.protocol) {
-    case Protocol::Tcp:
-      switch (tuple.dst_port) {
-        case ports::kDns: return Service::Dns;
-        case ports::kHttp: return Service::Http;
-        case ports::kHttps: return Service::Https;
-        case ports::kSmtp: return Service::Smtp;
-        default: return Service::OtherTcp;
-      }
-    case Protocol::Udp:
-      return tuple.dst_port == ports::kDns ? Service::Dns : Service::OtherUdp;
-    case Protocol::Icmp:
-      return Service::OtherIcmp;
-  }
-  return Service::OtherTcp;
-}
-
 std::string to_string(Service s) {
   switch (s) {
     case Service::Dns: return "dns";

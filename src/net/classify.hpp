@@ -29,7 +29,24 @@ enum class Service : std::uint8_t {
   OtherIcmp,
 };
 
-[[nodiscard]] Service classify(const FiveTuple& tuple) noexcept;
+/// Defined inline: called once per connection Start in the feature pipeline.
+[[nodiscard]] inline Service classify(const FiveTuple& tuple) noexcept {
+  switch (tuple.protocol) {
+    case Protocol::Tcp:
+      switch (tuple.dst_port) {
+        case ports::kDns: return Service::Dns;
+        case ports::kHttp: return Service::Http;
+        case ports::kHttps: return Service::Https;
+        case ports::kSmtp: return Service::Smtp;
+        default: return Service::OtherTcp;
+      }
+    case Protocol::Udp:
+      return tuple.dst_port == ports::kDns ? Service::Dns : Service::OtherUdp;
+    case Protocol::Icmp:
+      return Service::OtherIcmp;
+  }
+  return Service::OtherTcp;
+}
 
 [[nodiscard]] std::string to_string(Service s);
 

@@ -55,7 +55,9 @@ std::string serialize_scenario_config(const ScenarioConfig& config) {
      << "# generator\n"
      << "bin_minutes = " << g.grid.width() / util::kMicrosPerMinute << '\n'
      << "episode_log_mu = " << g.episode_log_mu << '\n'
-     << "distinct_pool_factor = " << g.distinct_pool_factor << '\n';
+     << "distinct_pool_factor = " << g.distinct_pool_factor << '\n'
+     << "fidelity = " << (config.fidelity == TraceFidelity::Packets ? "packets" : "bins")
+     << '\n';
   return os.str();
 }
 
@@ -121,6 +123,16 @@ ScenarioConfig parse_scenario_config(std::string_view text) {
            [&](auto k, auto v) { g.episode_log_mu = parse_number(k, v); }},
           {"distinct_pool_factor",
            [&](auto k, auto v) { g.distinct_pool_factor = parse_number(k, v); }},
+          {"fidelity",
+           [&](auto, auto v) {
+             if (v == "bins") {
+               config.fidelity = TraceFidelity::Bins;
+             } else if (v == "packets") {
+               config.fidelity = TraceFidelity::Packets;
+             } else {
+               throw InputError("unknown fidelity: " + std::string(v));
+             }
+           }},
       };
 
   std::size_t start = 0;

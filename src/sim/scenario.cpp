@@ -21,16 +21,34 @@ Scenario build_scenario(const ScenarioConfig& config) {
   scenario.users = trace::generate_population(config.population);
 
   const trace::TraceGenerator generator(config.generator);
+  features::PipelineConfig pipeline;
+  pipeline.grid = config.generator.grid;
+  pipeline.horizon = config.generator.horizon();
+
   // Each user's matrix is a pure function of (profile, config) via their own
   // derived RNG stream, so users shard freely across threads; parallel_map
   // keeps index order, which keeps the scenario bit-identical to the serial
   // build for any thread count.
   scenario.matrices = util::parallel_map(
       scenario.users.size(),
-      [&](std::size_t u) { return generator.generate_features(scenario.users[u]); },
+      [&](std::size_t u) {
+        const trace::UserProfile& user = scenario.users[u];
+        if (config.fidelity == TraceFidelity::Bins) {
+          return generator.generate_features(user);
+        }
+        // Packets fidelity: stream the user's full trace through the ingest
+        // engine in bounded batches — never materializing it.
+        features::IngestSession session(user.address, pipeline);
+        generator.generate_packets_streamed(user, 0, config.generator.horizon(), session,
+                                            config.ingest_batch);
+        return session.finish().matrix;
+      },
       config.threads);
   MONOHIDS_LOG(Info, "sim") << "scenario built: " << scenario.users.size() << " users, "
-                            << config.generator.weeks << " weeks";
+                            << config.generator.weeks << " weeks"
+                            << (config.fidelity == TraceFidelity::Packets
+                                    ? " (packet fidelity)"
+                                    : "");
   return scenario;
 }
 

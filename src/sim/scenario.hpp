@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "features/pipeline.hpp"
 #include "features/time_series.hpp"
 #include "trace/generator.hpp"
 #include "trace/population.hpp"
@@ -18,9 +19,26 @@ namespace monohids::sim {
 
 class AnalysisCache;
 
+/// How each user's feature matrices are rendered.
+enum class TraceFidelity : std::uint8_t {
+  Bins,     ///< bin-level statistical render (fast; the default)
+  Packets,  ///< materialize packets and stream them through the ingest engine
+};
+
 struct ScenarioConfig {
   trace::PopulationConfig population;
   trace::GeneratorConfig generator;
+
+  /// Packets fidelity runs every user's trace through connection tracking
+  /// and feature extraction (features::IngestSession) exactly as a real
+  /// capture would be — the full-pipeline mode for validation studies. The
+  /// generator streams bounded batches into the session, so peak memory per
+  /// worker is the reorder window plus one batch, not the trace length.
+  TraceFidelity fidelity = TraceFidelity::Bins;
+
+  /// Batch bound for the Packets streaming path. Execution knob: output is
+  /// bit-identical for every value (absent from serialize_scenario_config).
+  std::size_t ingest_batch = features::kDefaultIngestBatch;
 
   /// Worker threads for per-user feature generation: 0 = auto
   /// (MONOHIDS_THREADS env var, else hardware concurrency), 1 = serial.

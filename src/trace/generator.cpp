@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stats/sampling.hpp"
 #include "util/error.hpp"
@@ -139,9 +140,10 @@ features::FeatureMatrix TraceGenerator::generate_features(const UserProfile& use
   return matrix;
 }
 
-std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfile& user,
-                                                                Timestamp begin,
-                                                                Timestamp end) const {
+template <typename BinStart>
+void TraceGenerator::walk_packets(const UserProfile& user, Timestamp begin, Timestamp end,
+                                  std::vector<net::PacketRecord>& pending,
+                                  BinStart&& on_rendered_bin) const {
   MONOHIDS_EXPECT(begin < end, "empty packet range");
   MONOHIDS_EXPECT(end <= config_.horizon(), "range beyond generator horizon");
 
@@ -162,7 +164,6 @@ std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfil
 
   const double bin_hours =
       static_cast<double>(grid.width()) / static_cast<double>(util::kMicrosPerHour);
-  std::vector<net::PacketRecord> out;
 
   const std::uint64_t first_bin = grid.bin_of(begin);
   const std::uint64_t last_bin = grid.bin_of(end - 1);
@@ -175,6 +176,9 @@ std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfil
     const double boost = episodes.step(start, bin_hours, act);
     const std::uint32_t week = util::week_of(mid);
     const bool render = b >= first_bin;
+    // Every packet emitted from bin b onward has timestamp >= start, so
+    // pending packets before `start` are final (the streaming watermark).
+    if (render) on_rendered_bin(start);
 
     for (AppKind app : kAllApps) {
       const double lambda =
@@ -193,22 +197,77 @@ std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfil
         }
         f.udp_connections -= (f.dns_connections - kept_dns);
         f.dns_connections = kept_dns;
-        emit_session_packets(app, f, at, user.address, pools, packet_rng, out);
+        emit_session_packets(app, f, at, user.address, pools, packet_rng, pending);
       }
     }
   }
+}
 
-  std::sort(out.begin(), out.end(), [](const net::PacketRecord& a, const net::PacketRecord& b) {
-    return a.timestamp < b.timestamp;
-  });
-  // Clip: sessions started near the end of the window may spill past `end`.
-  while (!out.empty() && out.back().timestamp >= end) out.pop_back();
+std::vector<net::PacketRecord> TraceGenerator::generate_packets(const UserProfile& user,
+                                                                Timestamp begin,
+                                                                Timestamp end) const {
+  std::vector<net::PacketRecord> out;
+  walk_packets(user, begin, end, out, [](Timestamp) {});
+
+  // Total order (timestamp, tuple, flags, payload): equal-timestamp ties are
+  // deterministic and identical to the chunk-sorted streamed path.
+  std::sort(out.begin(), out.end());
+  // Clip: sessions started near the end of the window may spill past `end`,
+  // and sessions in begin's bin may have started before `begin`.
   out.erase(std::remove_if(out.begin(), out.end(),
-                           [begin](const net::PacketRecord& p) {
-                             return p.timestamp < begin;
+                           [begin, end](const net::PacketRecord& p) {
+                             return p.timestamp < begin || p.timestamp >= end;
                            }),
             out.end());
   return out;
+}
+
+void TraceGenerator::generate_packets_streamed(const UserProfile& user, Timestamp begin,
+                                               Timestamp end, features::PacketSink& sink,
+                                               std::size_t max_batch) const {
+  MONOHIDS_EXPECT(max_batch > 0, "streamed batch size must be positive");
+
+  std::vector<net::PacketRecord> pending;  // reorder window: ts >= watermark
+  std::vector<net::PacketRecord> ready;    // sorted finals awaiting emission
+  std::vector<net::PacketRecord> stage;    // staged batch for the sink
+
+  const auto emit_full_batches = [&](bool emit_tail) {
+    std::size_t offset = 0;
+    while (stage.size() - offset >= max_batch) {
+      sink.on_batch(std::span<const net::PacketRecord>(stage).subspan(offset, max_batch));
+      offset += max_batch;
+    }
+    if (emit_tail && offset < stage.size()) {
+      sink.on_batch(std::span<const net::PacketRecord>(stage).subspan(offset));
+      offset = stage.size();
+    }
+    stage.erase(stage.begin(), stage.begin() + static_cast<std::ptrdiff_t>(offset));
+  };
+
+  const auto flush_watermark = [&](Timestamp watermark) {
+    // Move everything final (ts < watermark) out of the reorder window. The
+    // partition splits on timestamp alone, so equal-timestamp ties always
+    // stay in one flush group and the per-group total-order sort reproduces
+    // the batch path's global sort exactly.
+    const auto keep = std::partition(pending.begin(), pending.end(),
+                                     [watermark](const net::PacketRecord& p) {
+                                       return p.timestamp >= watermark;
+                                     });
+    if (keep == pending.end()) return;
+    ready.assign(keep, pending.end());
+    pending.erase(keep, pending.end());
+    std::sort(ready.begin(), ready.end());
+    for (const net::PacketRecord& p : ready) {
+      if (p.timestamp < begin || p.timestamp >= end) continue;  // window clip
+      stage.push_back(p);
+    }
+    emit_full_batches(false);
+  };
+
+  walk_packets(user, begin, end, pending, flush_watermark);
+  // Everything left is final; `end` as watermark clips the spill past it.
+  flush_watermark(std::numeric_limits<Timestamp>::max());
+  emit_full_batches(true);
 }
 
 }  // namespace monohids::trace

@@ -52,10 +52,24 @@ class TraceGenerator {
   [[nodiscard]] features::FeatureMatrix generate_features(const UserProfile& user) const;
 
   /// Full path: time-sorted packets for [begin, end). `begin`/`end` must lie
-  /// within the horizon, begin < end.
+  /// within the horizon, begin < end. Ordering is the total order of
+  /// PacketRecord (timestamp, then tuple/flags/payload), so equal-timestamp
+  /// ties are deterministic and match the streamed path exactly.
   [[nodiscard]] std::vector<net::PacketRecord> generate_packets(const UserProfile& user,
                                                                 util::Timestamp begin,
                                                                 util::Timestamp end) const;
+
+  /// Streaming form of generate_packets: pushes the identical packet
+  /// sequence into `sink` in time-ordered batches of at most `max_batch`
+  /// packets. Peak memory is bounded by the reorder window (sessions that
+  /// spill past the current bin) plus one staging batch — it does not scale
+  /// with (end - begin). Same determinism guarantees as generate_packets.
+  void generate_packets_streamed(const UserProfile& user, util::Timestamp begin,
+                                 util::Timestamp end, features::PacketSink& sink,
+                                 std::size_t max_batch = kDefaultIngestBatch) const;
+
+  /// Default streamed-batch bound: 64K packets (~1.5 MiB of PacketRecords).
+  static constexpr std::size_t kDefaultIngestBatch = features::kDefaultIngestBatch;
 
   /// The user's deterministic destination pools (shared by the packet path
   /// and by anyone replaying the trace).
@@ -64,6 +78,13 @@ class TraceGenerator {
  private:
   /// Burst-episode state machine shared by both paths.
   class EpisodeProcess;
+
+  /// Shared bin-walk behind both packet paths: appends rendered session
+  /// packets to `pending` and invokes `on_rendered_bin(bin_start)` before
+  /// each rendered bin (the streaming watermark). Defined in generator.cpp.
+  template <typename BinStart>
+  void walk_packets(const UserProfile& user, util::Timestamp begin, util::Timestamp end,
+                    std::vector<net::PacketRecord>& pending, BinStart&& on_rendered_bin) const;
 
   GeneratorConfig config_;
 };

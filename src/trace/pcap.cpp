@@ -266,11 +266,10 @@ std::uint32_t read_u32(std::istream& in, bool swapped, bool& ok) {
          static_cast<std::uint32_t>(b[1]) << 8 | static_cast<std::uint32_t>(b[0]);
 }
 
-}  // namespace
-
-PcapReadResult read_pcap(std::istream& in) {
-  PcapReadResult result;
-
+/// The shared parse loop behind read_pcap and stream_pcap: fills the stats
+/// fields of `result` and hands each parsed packet to `on_packet`.
+template <typename OnPacket>
+void parse_pcap_stream(std::istream& in, PcapReadResult& result, OnPacket&& on_packet) {
   bool ok = false;
   const std::uint32_t magic = read_u32(in, /*swapped=*/false, ok);
   MONOHIDS_ENSURE(ok, "pcap stream is empty");
@@ -384,8 +383,26 @@ PcapReadResult read_pcap(std::istream& in) {
                           ? static_cast<std::uint16_t>(total_len - header_bytes)
                           : 0;
     (void)orig_len;
-    result.packets.push_back(p);
+    ++result.packet_count;
+    on_packet(p);
   }
+}
+
+}  // namespace
+
+PcapReadResult read_pcap(std::istream& in) {
+  PcapReadResult result;
+  parse_pcap_stream(in, result,
+                    [&](const net::PacketRecord& p) { result.packets.push_back(p); });
+  return result;
+}
+
+PcapReadResult stream_pcap(std::istream& in, features::PacketSink& sink,
+                           std::size_t max_batch) {
+  PcapReadResult result;
+  features::BatchingAdapter batches(sink, max_batch);
+  parse_pcap_stream(in, result, [&](const net::PacketRecord& p) { batches.push(p); });
+  batches.finish();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "features/pipeline.hpp"
 #include "net/packet.hpp"
 
 namespace monohids::trace {
@@ -21,6 +22,7 @@ namespace monohids::trace {
 /// Import statistics alongside the parsed packets.
 struct PcapReadResult {
   std::vector<net::PacketRecord> packets;
+  std::uint64_t packet_count = 0;       ///< parsed packets (== packets.size() for read_pcap)
   std::uint64_t skipped_non_ipv4 = 0;   ///< frames with another ethertype
   std::uint64_t skipped_protocol = 0;   ///< IPv4 but not TCP/UDP/ICMP
   std::uint64_t truncated = 0;          ///< snaplen cut into the headers
@@ -36,6 +38,14 @@ void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets
 /// Parses a pcap stream. Throws InputError on malformed files; tolerates
 /// unknown upper protocols by skipping (counted in the result).
 [[nodiscard]] PcapReadResult read_pcap(std::istream& in);
+
+/// Streaming form of read_pcap: pushes parsed packets into `sink` in batches
+/// of at most `max_batch`, so importing a multi-gigabyte capture never
+/// materializes it. The returned result carries the import statistics with
+/// `packets` left empty (`packet_count` holds the parsed total). Same
+/// validation and skip behavior as read_pcap.
+PcapReadResult stream_pcap(std::istream& in, features::PacketSink& sink,
+                           std::size_t max_batch = features::kDefaultIngestBatch);
 
 /// RFC 1071 checksum over a 16-bit-aligned header (exposed for tests).
 [[nodiscard]] std::uint16_t ipv4_header_checksum(const std::uint8_t* header,

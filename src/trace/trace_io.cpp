@@ -44,6 +44,32 @@ std::uint64_t get_u64(std::istream& in) {
   return v;
 }
 
+/// Validates the magic/version header and returns the record count.
+std::uint64_t read_trace_header(std::istream& in) {
+  std::array<char, 8> magic;
+  in.read(magic.data(), magic.size());
+  MONOHIDS_ENSURE(in.good() && magic == kMagic, "not a monohids trace file");
+  const std::uint32_t version = get_u32(in);
+  MONOHIDS_ENSURE(version == kTraceFormatVersion,
+                  "unsupported trace version " + std::to_string(version));
+  return get_u64(in);
+}
+
+net::PacketRecord get_record(std::istream& in) {
+  net::PacketRecord p;
+  p.timestamp = get_u64(in);
+  p.tuple.src_ip = net::Ipv4Address(get_u32(in));
+  p.tuple.dst_ip = net::Ipv4Address(get_u32(in));
+  const std::uint32_t ports = get_u32(in);
+  p.tuple.src_port = static_cast<std::uint16_t>(ports >> 16);
+  p.tuple.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+  const std::uint32_t tail = get_u32(in);
+  p.tuple.protocol = static_cast<net::Protocol>((tail >> 24) & 0xFF);
+  p.tcp_flags = static_cast<net::TcpFlags>((tail >> 16) & 0xFF);
+  p.payload_bytes = static_cast<std::uint16_t>(tail & 0xFFFF);
+  return p;
+}
+
 }  // namespace
 
 void write_packet_trace(std::ostream& out, const std::vector<net::PacketRecord>& packets) {
@@ -62,31 +88,19 @@ void write_packet_trace(std::ostream& out, const std::vector<net::PacketRecord>&
 }
 
 std::vector<net::PacketRecord> read_packet_trace(std::istream& in) {
-  std::array<char, 8> magic;
-  in.read(magic.data(), magic.size());
-  MONOHIDS_ENSURE(in.good() && magic == kMagic, "not a monohids trace file");
-  const std::uint32_t version = get_u32(in);
-  MONOHIDS_ENSURE(version == kTraceFormatVersion,
-                  "unsupported trace version " + std::to_string(version));
-  const std::uint64_t count = get_u64(in);
-
+  const std::uint64_t count = read_trace_header(in);
   std::vector<net::PacketRecord> packets;
   packets.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    net::PacketRecord p;
-    p.timestamp = get_u64(in);
-    p.tuple.src_ip = net::Ipv4Address(get_u32(in));
-    p.tuple.dst_ip = net::Ipv4Address(get_u32(in));
-    const std::uint32_t ports = get_u32(in);
-    p.tuple.src_port = static_cast<std::uint16_t>(ports >> 16);
-    p.tuple.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
-    const std::uint32_t tail = get_u32(in);
-    p.tuple.protocol = static_cast<net::Protocol>((tail >> 24) & 0xFF);
-    p.tcp_flags = static_cast<net::TcpFlags>((tail >> 16) & 0xFF);
-    p.payload_bytes = static_cast<std::uint16_t>(tail & 0xFFFF);
-    packets.push_back(p);
-  }
+  for (std::uint64_t i = 0; i < count; ++i) packets.push_back(get_record(in));
   return packets;
+}
+
+std::uint64_t stream_packet_trace(std::istream& in, features::PacketSink& sink,
+                                  std::size_t max_batch) {
+  const std::uint64_t count = read_trace_header(in);
+  features::BatchingAdapter batches(sink, max_batch);
+  for (std::uint64_t i = 0; i < count; ++i) batches.push(get_record(in));
+  return batches.finish();
 }
 
 void write_packet_csv(std::ostream& out, const std::vector<net::PacketRecord>& packets) {
@@ -124,34 +138,56 @@ std::uint64_t parse_u64_field(const std::string& text, const char* what) {
   return value;
 }
 
+bool is_packet_csv_header(const std::vector<std::string>& row) {
+  return row.size() == 8 && row[0] == "timestamp_us";
+}
+
+net::PacketRecord parse_packet_row(const std::vector<std::string>& row) {
+  MONOHIDS_ENSURE(row.size() == 8, "packet CSV row has the wrong field count");
+  net::PacketRecord p;
+  p.timestamp = parse_u64_field(row[0], "timestamp");
+  p.tuple.src_ip = net::Ipv4Address::parse(row[1]);
+  p.tuple.dst_ip = net::Ipv4Address::parse(row[2]);
+  p.tuple.src_port = static_cast<std::uint16_t>(parse_u64_field(row[3], "src port"));
+  p.tuple.dst_port = static_cast<std::uint16_t>(parse_u64_field(row[4], "dst port"));
+  p.tuple.protocol = parse_protocol(row[5]);
+  const auto flags = parse_u64_field(row[6], "flags");
+  MONOHIDS_ENSURE(flags <= 0xFF, "TCP flags out of range in packet CSV");
+  p.tcp_flags = static_cast<net::TcpFlags>(flags);
+  p.payload_bytes = static_cast<std::uint16_t>(parse_u64_field(row[7], "payload"));
+  return p;
+}
+
 }  // namespace
 
 std::vector<net::PacketRecord> read_packet_csv(std::istream& in) {
   std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   const auto rows = util::csv_parse(text);
   MONOHIDS_ENSURE(!rows.empty(), "packet CSV is empty");
-  MONOHIDS_ENSURE(rows[0].size() == 8 && rows[0][0] == "timestamp_us",
+  MONOHIDS_ENSURE(is_packet_csv_header(rows[0]),
                   "packet CSV header does not match the expected format");
 
   std::vector<net::PacketRecord> packets;
   packets.reserve(rows.size() - 1);
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    MONOHIDS_ENSURE(row.size() == 8, "packet CSV row has the wrong field count");
-    net::PacketRecord p;
-    p.timestamp = parse_u64_field(row[0], "timestamp");
-    p.tuple.src_ip = net::Ipv4Address::parse(row[1]);
-    p.tuple.dst_ip = net::Ipv4Address::parse(row[2]);
-    p.tuple.src_port = static_cast<std::uint16_t>(parse_u64_field(row[3], "src port"));
-    p.tuple.dst_port = static_cast<std::uint16_t>(parse_u64_field(row[4], "dst port"));
-    p.tuple.protocol = parse_protocol(row[5]);
-    const auto flags = parse_u64_field(row[6], "flags");
-    MONOHIDS_ENSURE(flags <= 0xFF, "TCP flags out of range in packet CSV");
-    p.tcp_flags = static_cast<net::TcpFlags>(flags);
-    p.payload_bytes = static_cast<std::uint16_t>(parse_u64_field(row[7], "payload"));
-    packets.push_back(p);
-  }
+  for (std::size_t r = 1; r < rows.size(); ++r) packets.push_back(parse_packet_row(rows[r]));
   return packets;
+}
+
+std::uint64_t stream_packet_csv(std::istream& in, features::PacketSink& sink,
+                                std::size_t max_batch) {
+  std::string line;
+  MONOHIDS_ENSURE(static_cast<bool>(std::getline(in, line)), "packet CSV is empty");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  MONOHIDS_ENSURE(is_packet_csv_header(util::csv_parse_line(line)),
+                  "packet CSV header does not match the expected format");
+
+  features::BatchingAdapter batches(sink, max_batch);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // trailing newline / blank line
+    batches.push(parse_packet_row(util::csv_parse_line(line)));
+  }
+  return batches.finish();
 }
 
 void write_feature_csv(std::ostream& out, const features::FeatureMatrix& matrix) {

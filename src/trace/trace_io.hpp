@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "features/pipeline.hpp"
 #include "features/time_series.hpp"
 #include "net/packet.hpp"
 
@@ -25,6 +26,12 @@ void write_packet_trace(std::ostream& out, const std::vector<net::PacketRecord>&
 /// Reads a binary trace; throws InputError on malformed input.
 [[nodiscard]] std::vector<net::PacketRecord> read_packet_trace(std::istream& in);
 
+/// Streaming form of read_packet_trace: decodes records straight into `sink`
+/// in batches of at most `max_batch` packets, so peak memory is bounded by
+/// the batch size instead of the trace length. Returns the packet count.
+std::uint64_t stream_packet_trace(std::istream& in, features::PacketSink& sink,
+                                  std::size_t max_batch = features::kDefaultIngestBatch);
+
 /// Writes packets as CSV with a header row
 /// (timestamp_us,src,dst,sport,dport,proto,flags,payload).
 void write_packet_csv(std::ostream& out, const std::vector<net::PacketRecord>& packets);
@@ -35,6 +42,13 @@ void write_packet_csv(std::ostream& out, const std::vector<net::PacketRecord>& p
 /// this CSV shape and the whole pipeline (flows, features, policies) runs
 /// on real traffic. Throws InputError on malformed rows.
 [[nodiscard]] std::vector<net::PacketRecord> read_packet_csv(std::istream& in);
+
+/// Streaming form of read_packet_csv: parses row by row into `sink` in
+/// batches of at most `max_batch` packets. Same format and validation as
+/// read_packet_csv (multi-line quoted fields are not supported — the packet
+/// CSV shape never produces them). Returns the packet count.
+std::uint64_t stream_packet_csv(std::istream& in, features::PacketSink& sink,
+                                std::size_t max_batch = features::kDefaultIngestBatch);
 
 /// Writes a feature matrix as CSV: bin_start_us then one column per feature.
 void write_feature_csv(std::ostream& out, const features::FeatureMatrix& matrix);

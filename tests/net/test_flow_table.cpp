@@ -219,5 +219,72 @@ TEST(FlowTable, ManyConcurrentFlows) {
   EXPECT_EQ(starts(table.drain_events()).size(), 1000u);
 }
 
+// Regression for the seed's sweep hazard: expired flows were emitted in hash
+// iteration order, which depends on insertion history. Timeout End events
+// must come out in (expiry deadline, tuple) order no matter how the flows
+// went in.
+TEST(FlowTable, SweepOrderIndependentOfInsertionOrder) {
+  std::vector<std::uint16_t> ports;
+  for (std::uint16_t i = 0; i < 64; ++i) ports.push_back(static_cast<std::uint16_t>(50000 + i));
+
+  std::vector<FlowEvent> baseline;
+  for (int perm = 0; perm < 8; ++perm) {
+    FlowTableConfig config;
+    config.udp_idle_timeout = kMicrosPerMinute;
+    FlowTable table(kHost, config);
+    // All flows at t=0 (identical deadlines), inserted in a rotated order.
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      const std::uint16_t port = ports[(i + static_cast<std::size_t>(perm) * 11) % ports.size()];
+      table.process(pkt(0, out_udp(port)));
+    }
+    (void)table.drain_events();  // discard Starts (insertion-ordered by design)
+    table.advance_to(2 * kMicrosPerMinute);
+    const std::vector<FlowEvent> ends = table.drain_events();
+    ASSERT_EQ(ends.size(), ports.size());
+    for (std::size_t i = 1; i < ends.size(); ++i) {
+      ASSERT_TRUE(ends[i - 1].tuple < ends[i].tuple) << "permutation " << perm;
+    }
+    if (perm == 0) {
+      baseline = ends;
+    } else {
+      ASSERT_EQ(ends, baseline) << "permutation " << perm;
+    }
+  }
+}
+
+TEST(FlowTable, ExpectedFlowsHintPreSizesArena) {
+  FlowTableConfig config;
+  config.expected_flows = 4096;
+  FlowTable table(kHost, config);
+  const std::size_t capacity = table.slot_capacity();
+  EXPECT_GE(capacity, 4096u);  // fits the hint below the max load factor
+
+  // Filling up to the hint must never regrow the arena.
+  std::uint32_t created = 0;
+  for (std::uint16_t sport = 2000; created < 4096; ++sport) {
+    for (std::uint16_t dport = 1; dport <= 64 && created < 4096; ++dport) {
+      table.process(pkt(created, out_tcp(sport, dport), TcpFlags::Syn));
+      ++created;
+    }
+  }
+  EXPECT_EQ(table.active_flows(), 4096u);
+  EXPECT_EQ(table.slot_capacity(), capacity);
+}
+
+TEST(FlowTable, MaxLiveFlowsTracksPeakOccupancy) {
+  FlowTableConfig config;
+  config.udp_idle_timeout = kMicrosPerMinute;
+  FlowTable table(kHost, config);
+  for (std::uint16_t i = 0; i < 10; ++i) table.process(pkt(0, out_udp(static_cast<std::uint16_t>(50000 + i))));
+  EXPECT_EQ(table.stats().max_live_flows, 10u);
+  table.advance_to(2 * kMicrosPerMinute);  // all idle out
+  EXPECT_EQ(table.active_flows(), 0u);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    table.process(pkt(2 * kMicrosPerMinute, out_udp(static_cast<std::uint16_t>(51000 + i))));
+  }
+  // Peak stays at the high-water mark, not the current occupancy.
+  EXPECT_EQ(table.stats().max_live_flows, 10u);
+}
+
 }  // namespace
 }  // namespace monohids::net

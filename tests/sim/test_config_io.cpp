@@ -56,6 +56,16 @@ TEST(ConfigIo, RoundTripProducesIdenticalScenario) {
   }
 }
 
+TEST(ConfigIo, FidelityRoundTrips) {
+  ScenarioConfig original;
+  EXPECT_EQ(parse_scenario_config(serialize_scenario_config(original)).fidelity,
+            TraceFidelity::Bins);
+  original.fidelity = TraceFidelity::Packets;
+  EXPECT_EQ(parse_scenario_config(serialize_scenario_config(original)).fidelity,
+            TraceFidelity::Packets);
+  EXPECT_THROW((void)parse_scenario_config("fidelity = full\n"), InputError);
+}
+
 TEST(ConfigIo, MissingKeysKeepDefaults) {
   const ScenarioConfig config = parse_scenario_config("users = 10\n");
   EXPECT_EQ(config.population.user_count, 10u);

@@ -58,6 +58,54 @@ TEST(Scenario, SetWeeksKeepsPopulationAndGeneratorInSync) {
   EXPECT_EQ(config.generator.weeks, 3u);
 }
 
+TEST(Scenario, PacketFidelityBuildsFromStreamedIngest) {
+  ScenarioConfig config = tiny(4, 1);
+  config.fidelity = TraceFidelity::Packets;
+  const auto scenario = build_scenario(config);
+  ASSERT_EQ(scenario.matrices.size(), 4u);
+
+  // Must equal an explicit per-user ingest run — same generator, same
+  // streaming pipeline.
+  const trace::TraceGenerator generator(config.generator);
+  features::PipelineConfig pipeline;
+  pipeline.grid = config.generator.grid;
+  pipeline.horizon = config.generator.horizon();
+  for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {
+    features::IngestSession session(scenario.users[u].address, pipeline);
+    generator.generate_packets_streamed(scenario.users[u], 0, config.generator.horizon(),
+                                        session);
+    const features::FeatureMatrix expected = session.finish().matrix;
+    for (features::FeatureKind f : features::kAllFeatures) {
+      const auto got = scenario.matrices[u].of(f).values();
+      const auto want = expected.of(f).values();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t b = 0; b < want.size(); ++b) {
+        ASSERT_EQ(got[b], want[b]) << "user " << u << " bin " << b;
+      }
+    }
+  }
+}
+
+TEST(Scenario, PacketFidelityDeterministicAcrossThreadsAndBatches) {
+  ScenarioConfig config = tiny(6, 1);
+  config.fidelity = TraceFidelity::Packets;
+  config.threads = 1;
+  const auto serial = build_scenario(config);
+  config.threads = 4;
+  config.ingest_batch = 777;  // batch size is an execution knob
+  const auto parallel = build_scenario(config);
+  for (std::uint32_t u = 0; u < serial.user_count(); ++u) {
+    for (features::FeatureKind f : features::kAllFeatures) {
+      const auto a = serial.matrices[u].of(f).values();
+      const auto b = parallel.matrices[u].of(f).values();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t bin = 0; bin < a.size(); ++bin) {
+        ASSERT_EQ(a[bin], b[bin]) << "user " << u << " bin " << bin;
+      }
+    }
+  }
+}
+
 TEST(Scenario, EveryUserHasTraffic) {
   const auto scenario = build_scenario(tiny(20, 1));
   for (std::uint32_t u = 0; u < scenario.user_count(); ++u) {

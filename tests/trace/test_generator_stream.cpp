@@ -1,0 +1,147 @@
+// Streamed trace production: generate_packets_streamed and the streaming
+// trace readers must deliver the exact packet sequence of their batch
+// counterparts, in bounded, time-ordered batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/pcap.hpp"
+#include "trace/population.hpp"
+#include "trace/trace_io.hpp"
+
+namespace monohids::trace {
+namespace {
+
+struct Collect final : features::PacketSink {
+  std::vector<net::PacketRecord> all;
+  std::vector<std::size_t> batch_sizes;
+  void on_batch(std::span<const net::PacketRecord> batch) override {
+    batch_sizes.push_back(batch.size());
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+};
+
+UserProfile test_user(std::uint64_t seed) {
+  PopulationConfig population;
+  population.user_count = 1;
+  population.seed = seed;
+  population.weeks = 1;
+  return generate_population(population)[0];
+}
+
+GeneratorConfig day_config() {
+  GeneratorConfig config;
+  config.weeks = 1;
+  return config;
+}
+
+class GeneratorStream : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorStream, StreamedEqualsBatchPath) {
+  const GeneratorConfig config = day_config();
+  const TraceGenerator generator(config);
+  const UserProfile user = test_user(GetParam());
+  const util::Timestamp end = 2 * util::kMicrosPerDay;
+
+  const std::vector<net::PacketRecord> batch = generator.generate_packets(user, 0, end);
+  ASSERT_FALSE(batch.empty());
+
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{257}, std::size_t{1} << 16}) {
+    Collect sink;
+    generator.generate_packets_streamed(user, 0, end, sink, max_batch);
+    ASSERT_EQ(sink.all.size(), batch.size()) << "max_batch " << max_batch;
+    EXPECT_TRUE(std::equal(batch.begin(), batch.end(), sink.all.begin()))
+        << "max_batch " << max_batch;
+    for (const std::size_t n : sink.batch_sizes) ASSERT_LE(n, max_batch);
+    // Batches are globally time-ordered (the ingest contract).
+    for (std::size_t i = 1; i < sink.all.size(); ++i) {
+      ASSERT_LE(sink.all[i - 1].timestamp, sink.all[i].timestamp);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorStream, ::testing::Values(11, 22, 33));
+
+TEST(GeneratorStream, WindowedStreamEqualsWindowedBatch) {
+  const GeneratorConfig config = day_config();
+  const TraceGenerator generator(config);
+  const UserProfile user = test_user(77);
+  // A mid-trace window exercises the skipped-bin RNG advance and both clips.
+  const util::Timestamp begin = 26 * util::kMicrosPerHour + 123;
+  const util::Timestamp end = 40 * util::kMicrosPerHour + 7;
+
+  const std::vector<net::PacketRecord> batch = generator.generate_packets(user, begin, end);
+  Collect sink;
+  generator.generate_packets_streamed(user, begin, end, sink, 1024);
+  EXPECT_EQ(sink.all, batch);
+  for (const auto& p : sink.all) {
+    ASSERT_GE(p.timestamp, begin);
+    ASSERT_LT(p.timestamp, end);
+  }
+}
+
+TEST(TraceIoStream, BinaryStreamEqualsRead) {
+  const TraceGenerator generator(day_config());
+  const std::vector<net::PacketRecord> packets =
+      generator.generate_packets(test_user(5), 0, util::kMicrosPerDay);
+
+  std::stringstream buffer;
+  write_packet_trace(buffer, packets);
+  const std::vector<net::PacketRecord> read = read_packet_trace(buffer);
+
+  buffer.clear();
+  buffer.seekg(0);
+  Collect sink;
+  EXPECT_EQ(stream_packet_trace(buffer, sink, 512), packets.size());
+  EXPECT_EQ(sink.all, read);
+  for (const std::size_t n : sink.batch_sizes) ASSERT_LE(n, 512u);
+}
+
+TEST(TraceIoStream, CsvStreamEqualsRead) {
+  const TraceGenerator generator(day_config());
+  const std::vector<net::PacketRecord> packets =
+      generator.generate_packets(test_user(6), 0, util::kMicrosPerDay / 4);
+
+  std::stringstream buffer;
+  write_packet_csv(buffer, packets);
+  const std::string text = buffer.str();
+
+  std::istringstream for_read(text);
+  const std::vector<net::PacketRecord> read = read_packet_csv(for_read);
+
+  std::istringstream for_stream(text);
+  Collect sink;
+  EXPECT_EQ(stream_packet_csv(for_stream, sink, 100), packets.size());
+  EXPECT_EQ(sink.all, read);
+}
+
+TEST(PcapStream, StreamEqualsRead) {
+  const TraceGenerator generator(day_config());
+  const std::vector<net::PacketRecord> packets =
+      generator.generate_packets(test_user(8), 0, util::kMicrosPerDay / 4);
+
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  const std::string bytes = buffer.str();
+
+  std::istringstream for_read(bytes);
+  const PcapReadResult batch = read_pcap(for_read);
+  EXPECT_EQ(batch.packet_count, batch.packets.size());
+
+  std::istringstream for_stream(bytes);
+  Collect sink;
+  const PcapReadResult streamed = stream_pcap(for_stream, sink, 256);
+  EXPECT_TRUE(streamed.packets.empty());
+  EXPECT_EQ(streamed.packet_count, batch.packet_count);
+  EXPECT_EQ(streamed.skipped_non_ipv4, batch.skipped_non_ipv4);
+  EXPECT_EQ(streamed.skipped_protocol, batch.skipped_protocol);
+  EXPECT_EQ(streamed.truncated, batch.truncated);
+  EXPECT_EQ(sink.all, batch.packets);
+  for (const std::size_t n : sink.batch_sizes) ASSERT_LE(n, 256u);
+}
+
+}  // namespace
+}  // namespace monohids::trace
