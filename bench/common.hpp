@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiments.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -34,7 +36,21 @@ inline util::CliFlags standard_flags(std::string summary) {
   flags.add_bool("verbose", false, "enable info logging");
   flags.add_string("json", "",
                    "write per-phase wall times + config echo as JSON to this path");
+  flags.add_string("metrics-json", "",
+                   "write a process metrics snapshot (obs registry + recent "
+                   "spans) as JSON to this path on exit");
   return flags;
+}
+
+/// Writes the global obs registry snapshot to the --metrics-json path;
+/// no-op when the flag is unset. Works in MONOHIDS_OBS=OFF builds too (the
+/// document is then empty with "enabled": false), so scripted sweeps can
+/// pass the flag unconditionally.
+inline void write_metrics_if_requested(const util::CliFlags& flags) {
+  const std::string& path = flags.get_string("metrics-json");
+  if (path.empty()) return;
+  obs::write_global_json(path);
+  std::cout << "# metrics written to " << path << '\n';
 }
 
 /// Wall-clock phase recorder behind the --json flag. Instrumented binaries

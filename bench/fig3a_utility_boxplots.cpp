@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
     }
   }
   timings.write_if_requested(flags, "fig3a_utility_boxplots");
+  bench::write_metrics_if_requested(flags);
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n' << table.render();
   timings.write_if_requested(flags, "fig3b_weight_sweep");
+  bench::write_metrics_if_requested(flags);
   return 0;
 }

@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   std::cout << table.render();
 
   timings.write_if_requested(flags, "micro_distribution_cache");
+  bench::write_metrics_if_requested(flags);
 
   if (!outputs_match) {
     std::cerr << "FAIL: cached and uncached suites diverged\n";

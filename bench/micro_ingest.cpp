@@ -23,6 +23,7 @@
 // the batch size while the materialized path grows with trace length.
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -117,6 +118,34 @@ std::vector<net::PacketRecord> synth_host_packets(net::Ipv4Address host, double 
   return all;
 }
 
+/// FNV-1a 64 over the raw bit patterns of a result's feature values and flow
+/// stats. Printed with the report so separate binaries (e.g. MONOHIDS_OBS=ON
+/// vs OFF builds) can assert bit-identical outputs by comparing one line.
+std::uint64_t fnv1a_result(std::uint64_t hash, const features::PipelineResult& result) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  const auto mix = [&hash](std::uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xFF;
+      hash *= kPrime;
+    }
+  };
+  for (features::FeatureKind f : features::kAllFeatures) {
+    for (double v : result.matrix.of(f).values()) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    }
+  }
+  const net::FlowTableStats& s = result.flow_stats;
+  for (std::uint64_t field : {s.packets_processed, s.flows_created, s.flows_ended_fin,
+                              s.flows_ended_rst, s.flows_ended_timeout, s.flows_ended_flush,
+                              s.syn_packets, s.max_live_flows}) {
+    mix(field);
+  }
+  return hash;
+}
+
 bool identical(const features::PipelineResult& a, const features::PipelineResult& b) {
   if (!(a.flow_stats == b.flow_stats)) return false;
   for (features::FeatureKind f : features::kAllFeatures) {
@@ -153,18 +182,19 @@ struct Comparison {
 };
 
 Comparison compare(net::Ipv4Address monitored, std::span<const net::PacketRecord> packets,
-                   int repeat) {
+                   int repeat, features::PipelineResult* streaming_out = nullptr) {
   features::PipelineConfig pipeline;
   pipeline.horizon = packets.back().timestamp + 1;
   Comparison c;
   const auto reference = best_of(repeat, c.reference_ms, [&] {
     return features::extract_features_reference(monitored, packets, pipeline);
   });
-  const auto streaming = best_of(repeat, c.streaming_ms, [&] {
+  auto streaming = best_of(repeat, c.streaming_ms, [&] {
     return features::extract_features(monitored, packets, pipeline);
   });
   c.peak_live = streaming.flow_stats.max_live_flows;
   c.match = identical(reference, streaming);
+  if (streaming_out != nullptr) *streaming_out = std::move(streaming);
   return c;
 }
 
@@ -277,7 +307,8 @@ int main(int argc, char** argv) {
   const auto synth_packets = synth_host_packets(host, flow_rate, flow_seconds, seed);
   timings.record("materialize_synth", ms_since(synth_start));
 
-  const Comparison synth = compare(host, synth_packets, repeat);
+  features::PipelineResult synth_result;
+  const Comparison synth = compare(host, synth_packets, repeat, &synth_result);
   timings.record("synth_reference", synth.reference_ms);
   timings.record("synth_streaming", synth.streaming_ms);
 
@@ -300,7 +331,8 @@ int main(int argc, char** argv) {
   timings.record("materialize_trace", ms_since(materialize_start));
   const net::Ipv4Address monitored = busy_user(seed).address;
 
-  const Comparison generator = compare(monitored, gen_packets, repeat);
+  features::PipelineResult generator_result;
+  const Comparison generator = compare(monitored, gen_packets, repeat, &generator_result);
   timings.record("generator_reference", generator.reference_ms);
   timings.record("generator_streaming", generator.streaming_ms);
 
@@ -360,8 +392,20 @@ int main(int argc, char** argv) {
   table.add_row({"streaming == batch outputs", all_match ? "yes" : "NO"});
   std::cout << table.render();
 
+  // One digest over every streaming-path output; build-flavor comparisons
+  // (scripts/check_obs_overhead.sh) grep this line.
+  std::uint64_t digest = 14695981039346656037ULL;  // FNV-1a offset basis
+  digest = fnv1a_result(digest, synth_result);
+  digest = fnv1a_result(digest, generator_result);
+  digest = fnv1a_result(digest, streamed_day);
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  std::cout << "# output digest: " << digest_hex << '\n';
+
   timings.record("verify", 0.0);
   timings.write_if_requested(flags, "micro_ingest");
+  bench::write_metrics_if_requested(flags);
 
   if (!all_match) {
     std::cerr << "FAIL: streaming and batch pipelines diverged\n";

@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
   std::cout << "full diversity, 99th pct: ~" << util::fixed(per_user, 1)
             << " alarms per user per week (paper: ~3)\n";
   timings.write_if_requested(flags, "table3_alarm_rates");
+  bench::write_metrics_if_requested(flags);
   return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Overhead regression gate for the observability layer.
+#
+# Builds micro_ingest twice — MONOHIDS_OBS=ON and OFF — runs the same
+# headline workload in both, and fails unless:
+#   1. the "# output digest:" lines match (instrumentation must never touch
+#      data outputs: bit-identical feature matrices and flow stats), and
+#   2. the instrumented streaming headline is within MAX_OVERHEAD_PCT
+#      (default 2%) of the uninstrumented one, best-of REPEAT runs.
+#
+# Usage: scripts/check_obs_overhead.sh [source-dir]
+# Env:   MAX_OVERHEAD_PCT (default 2), REPEAT (default 5), BUILD_ROOT
+#        (default <source-dir>/build-obs-check), WORKLOAD_ARGS (extra
+#        micro_ingest flags, default a ~2.4M-packet headline).
+set -euo pipefail
+
+SRC_DIR="${1:-$(pwd)}"
+BUILD_ROOT="${BUILD_ROOT:-${SRC_DIR}/build-obs-check}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-2}"
+REPEAT="${REPEAT:-5}"
+WORKLOAD_ARGS="${WORKLOAD_ARGS:---flow-rate 500 --flow-seconds 1200 --packets 500000}"
+
+build_flavor() {
+  local flavor="$1" obs_value="$2"
+  local dir="${BUILD_ROOT}/${flavor}"
+  cmake -B "${dir}" -S "${SRC_DIR}" -DCMAKE_BUILD_TYPE=Release \
+        "-DMONOHIDS_OBS=${obs_value}" > /dev/null
+  cmake --build "${dir}" -j --target micro_ingest > /dev/null
+  echo "${dir}"
+}
+
+run_flavor() {
+  local dir="$1" out="$2"
+  # min-speedup 0: this gate measures obs overhead, not the streaming-vs-
+  # reference floor (the bench-smoke job owns that).
+  # shellcheck disable=SC2086
+  "${dir}/bench/micro_ingest" --repeat "${REPEAT}" --min-speedup 0 \
+      ${WORKLOAD_ARGS} --json "${out}.json" > "${out}.txt"
+}
+
+headline_ms() {
+  # Best-of streaming time for the floor-gated synthetic workload.
+  python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1] + ".json"))
+print([p["ms"] for p in doc["phases"] if p["name"] == "synth_streaming"][0])
+EOF
+}
+
+digest_of() {
+  grep '# output digest:' "$1.txt" | awk '{print $4}'
+}
+
+echo "== building MONOHIDS_OBS=ON and OFF flavors =="
+ON_DIR=$(build_flavor on ON)
+OFF_DIR=$(build_flavor off OFF)
+
+echo "== running headline workload (repeat=${REPEAT}) =="
+run_flavor "${OFF_DIR}" "${BUILD_ROOT}/off"
+run_flavor "${ON_DIR}" "${BUILD_ROOT}/on"
+
+ON_DIGEST=$(digest_of "${BUILD_ROOT}/on")
+OFF_DIGEST=$(digest_of "${BUILD_ROOT}/off")
+ON_MS=$(headline_ms "${BUILD_ROOT}/on")
+OFF_MS=$(headline_ms "${BUILD_ROOT}/off")
+
+echo "obs=ON : ${ON_MS} ms   digest ${ON_DIGEST}"
+echo "obs=OFF: ${OFF_MS} ms   digest ${OFF_DIGEST}"
+
+if [ -z "${ON_DIGEST}" ] || [ "${ON_DIGEST}" != "${OFF_DIGEST}" ]; then
+  echo "FAIL: output digests differ — instrumentation changed data outputs" >&2
+  exit 1
+fi
+
+python3 - "${ON_MS}" "${OFF_MS}" "${MAX_OVERHEAD_PCT}" <<'EOF'
+import sys
+on_ms, off_ms, limit = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+overhead = (on_ms - off_ms) / off_ms * 100.0
+print(f"metrics-on overhead: {overhead:+.2f}% (limit {limit:.1f}%)")
+if overhead > limit:
+    print(f"FAIL: observability overhead {overhead:.2f}% exceeds {limit:.1f}%",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
+echo "OK: bit-identical outputs, overhead within ${MAX_OVERHEAD_PCT}%"

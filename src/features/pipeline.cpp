@@ -3,9 +3,38 @@
 #include <algorithm>
 
 #include "net/flow_table_ref.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace monohids::features {
+
+namespace {
+
+/// Ingest metrics, published per batch (not per packet): one counter add
+/// per series per on_batch call plus two clock reads for the latency
+/// histogram, amortized over up to kDefaultIngestBatch packets.
+struct IngestMetrics {
+  obs::Counter packets;
+  obs::Counter batches;
+  obs::Counter flow_starts;
+  obs::Counter sessions;
+  obs::Histogram batch_ms;
+};
+
+IngestMetrics& ingest_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static IngestMetrics m{
+      registry.counter("ingest.packets_total"),
+      registry.counter("ingest.batches_total"),
+      registry.counter("ingest.flow_starts_total"),
+      registry.counter("ingest.sessions_finished_total"),
+      registry.histogram("ingest.batch_ms", obs::latency_buckets_ms()),
+  };
+  return m;
+}
+
+}  // namespace
 
 BatchingAdapter::BatchingAdapter(PacketSink& sink, std::size_t max_batch)
     : sink_(&sink), max_batch_(max_batch) {
@@ -32,6 +61,8 @@ IngestSession::IngestSession(net::Ipv4Address monitored, const PipelineConfig& c
 
 void IngestSession::on_batch(std::span<const net::PacketRecord> batch) {
   MONOHIDS_EXPECT(!finished_, "IngestSession already finished");
+  const obs::ScopedTimer span("ingest.batch", ingest_metrics().batch_ms);
+  std::uint64_t flow_starts = 0;
   // The flow table's batch loop runs uninterrupted (its hot path inlines in
   // one translation unit), then the chunk's flow events and SYN packets feed
   // the extractor in two passes. Splitting the streams is exact: on_packet
@@ -47,6 +78,7 @@ void IngestSession::on_batch(std::span<const net::PacketRecord> batch) {
       // Same filter the extractor applies first thing; hoisting it here
       // skips the call for End events and inbound-initiated flows.
       if (event.kind == net::FlowEventKind::Start && event.initiated_by_monitored_host) {
+        if constexpr (obs::kEnabled) ++flow_starts;
         extractor_.on_flow_event(event);
       }
     }
@@ -62,6 +94,12 @@ void IngestSession::on_batch(std::span<const net::PacketRecord> batch) {
     }
   }
   if (!batch.empty()) last_seen_ = batch.back().timestamp;
+  if constexpr (obs::kEnabled) {
+    IngestMetrics& m = ingest_metrics();
+    m.packets.add(batch.size());
+    m.batches.inc();
+    m.flow_starts.add(flow_starts);
+  }
 }
 
 void IngestSession::push(const net::PacketRecord& packet) {
@@ -81,6 +119,7 @@ PipelineResult IngestSession::finish() {
   table_.clear_events();
   extractor_.finish();
   finished_ = true;
+  ingest_metrics().sessions.inc();
   return PipelineResult{extractor_.matrix(), table_.stats()};
 }
 

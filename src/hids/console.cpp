@@ -2,9 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace monohids::hids {
+
+namespace {
+
+/// Console metrics: alarm volume is the paper's Table-3 operational cost,
+/// so the registry keeps a process-wide total plus a per-feature breakdown.
+/// Published per ingested batch (one add per touched series), not per alert.
+struct ConsoleMetrics {
+  obs::Counter alerts;
+  obs::Counter batches;
+  obs::Counter per_feature[features::kFeatureCount];
+};
+
+ConsoleMetrics& console_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static ConsoleMetrics m = [&registry] {
+    ConsoleMetrics built{
+        registry.counter("console.alerts_total"),
+        registry.counter("console.batches_total"),
+        {},
+    };
+    for (features::FeatureKind f : features::kAllFeatures) {
+      built.per_feature[features::index_of(f)] = registry.counter(
+          "console.alerts." + std::string(features::name_of(f)));
+    }
+    return built;
+  }();
+  return m;
+}
+
+}  // namespace
 
 CentralConsole::CentralConsole(std::uint32_t user_count, std::uint32_t weeks)
     : weeks_(weeks), per_user_(user_count, 0), per_week_(weeks, 0) {
@@ -14,6 +45,7 @@ CentralConsole::CentralConsole(std::uint32_t user_count, std::uint32_t weeks)
 void CentralConsole::ingest(const AlertBatch& batch) {
   MONOHIDS_EXPECT(batch.user_id < per_user_.size(), "alert from unknown user");
   ++batches_;
+  std::array<std::uint64_t, features::kFeatureCount> feature_delta{};
   for (const Alert& alert : batch.alerts) {
     MONOHIDS_EXPECT(alert.user_id == batch.user_id, "mixed-user batch");
     ++total_;
@@ -21,6 +53,15 @@ void CentralConsole::ingest(const AlertBatch& batch) {
     const std::uint32_t week = util::week_of(alert.bin_start);
     if (week < weeks_) ++per_week_[week];
     ++per_feature_[features::index_of(alert.feature)];
+    if constexpr (obs::kEnabled) ++feature_delta[features::index_of(alert.feature)];
+  }
+  if constexpr (obs::kEnabled) {
+    ConsoleMetrics& m = console_metrics();
+    m.batches.inc();
+    m.alerts.add(batch.alerts.size());
+    for (std::size_t f = 0; f < feature_delta.size(); ++f) {
+      if (feature_delta[f] != 0) m.per_feature[f].add(feature_delta[f]);
+    }
   }
 }
 

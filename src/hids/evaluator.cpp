@@ -2,10 +2,34 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace monohids::hids {
+
+namespace {
+
+/// Publishes one finished policy evaluation: an evaluation counter, the
+/// aggregate weekly false-alarm volume, and a per-policy alarm series (the
+/// registry's answer to "which policy is drowning the console"). Policy
+/// names are few and registration is idempotent, so the by-name lookup per
+/// evaluation is cheap relative to the sweep it accounts for.
+void publish_policy_outcome(const PolicyOutcome& outcome) {
+  if constexpr (!obs::kEnabled) return;
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter evaluations = registry.counter("evaluator.policy_evaluations_total");
+  static obs::Counter alarms = registry.counter("evaluator.false_alarms_total");
+  obs::Counter per_policy =
+      registry.counter("evaluator.false_alarms.policy." + outcome.policy_name);
+  evaluations.inc();
+  const std::uint64_t total = outcome.total_false_alarms();
+  alarms.add(total);
+  per_policy.add(total);
+}
+
+}  // namespace
 
 std::vector<stats::EmpiricalDistribution> week_distributions(
     std::span<const features::FeatureMatrix> users, features::FeatureKind feature,
@@ -77,6 +101,7 @@ PolicyOutcome evaluate_policy(std::span<const stats::EmpiricalDistribution> trai
             std::llround(r.fp_rate * static_cast<double>(test[u].size())));
       },
       threads);
+  publish_policy_outcome(outcome);
   return outcome;
 }
 

@@ -5,11 +5,54 @@
 #include <cstddef>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace monohids::net {
 
 namespace {
+
+/// Registry handles shared by every FlowTable (hundreds of tables run in a
+/// parallel scenario build; they all fold into one process-wide series).
+/// Values only arrive via publish_metrics() at flush, so contention is one
+/// burst per table, not per packet.
+struct FlowMetrics {
+  obs::Counter packets;
+  obs::Counter flows_created;
+  obs::Counter ended_fin;
+  obs::Counter ended_rst;
+  obs::Counter ended_timeout;
+  obs::Counter ended_flush;
+  obs::Counter syn_packets;
+  obs::Counter insert_probe_slots;
+  obs::Counter sweeps_scan;
+  obs::Counter sweeps_wheel;
+  obs::Counter wheel_rearms;
+  obs::Counter wheel_orphans;
+  obs::Counter flushes;
+  obs::Histogram peak_live;
+};
+
+FlowMetrics& flow_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static FlowMetrics m{
+      registry.counter("flowtable.packets_total"),
+      registry.counter("flowtable.flows_created_total"),
+      registry.counter("flowtable.flows_ended_fin_total"),
+      registry.counter("flowtable.flows_ended_rst_total"),
+      registry.counter("flowtable.flows_ended_timeout_total"),
+      registry.counter("flowtable.flows_ended_flush_total"),
+      registry.counter("flowtable.syn_packets_total"),
+      registry.counter("flowtable.insert_probe_slots_total"),
+      registry.counter("flowtable.sweeps_scan_total"),
+      registry.counter("flowtable.sweeps_wheel_total"),
+      registry.counter("flowtable.wheel_rearms_total"),
+      registry.counter("flowtable.wheel_orphans_total"),
+      registry.counter("flowtable.flushes_total"),
+      registry.histogram("flowtable.peak_live_flows", obs::pow2_buckets(24)),
+  };
+  return m;
+}
 
 /// Minimum slot-arena size. Linear probing wants slack even for tiny tables.
 constexpr std::size_t kMinSlots = 16;
@@ -109,6 +152,7 @@ std::size_t FlowTable::insert_slot(const FiveTuple& key, std::uint64_t hash) {
   if (over_load(live_ + 1, tags_.size())) rehash(tags_.size() * 2);
   std::size_t i = hash & mask_;
   while (tags_[i] != 0) i = (i + 1) & mask_;
+  if constexpr (obs::kEnabled) obs_accum_.insert_probe_slots += (i - (hash & mask_)) & mask_;
   tags_[i] = tag_of(hash);
   keys_[i] = key;
   ++live_;
@@ -363,6 +407,29 @@ void FlowTable::flush(util::Timestamp now) {
   for (auto& bucket : wheel_) bucket.clear();
   wheel_entries_ = 0;
   cursor_ = bucket_of(now);
+  publish_metrics();
+}
+
+void FlowTable::publish_metrics() {
+  if constexpr (!obs::kEnabled) return;
+  FlowMetrics& m = flow_metrics();
+  m.packets.add(stats_.packets_processed - stats_published_.packets_processed);
+  m.flows_created.add(stats_.flows_created - stats_published_.flows_created);
+  m.ended_fin.add(stats_.flows_ended_fin - stats_published_.flows_ended_fin);
+  m.ended_rst.add(stats_.flows_ended_rst - stats_published_.flows_ended_rst);
+  m.ended_timeout.add(stats_.flows_ended_timeout - stats_published_.flows_ended_timeout);
+  m.ended_flush.add(stats_.flows_ended_flush - stats_published_.flows_ended_flush);
+  m.syn_packets.add(stats_.syn_packets - stats_published_.syn_packets);
+  m.insert_probe_slots.add(obs_accum_.insert_probe_slots -
+                           obs_published_.insert_probe_slots);
+  m.sweeps_scan.add(obs_accum_.sweeps_scan - obs_published_.sweeps_scan);
+  m.sweeps_wheel.add(obs_accum_.sweeps_wheel - obs_published_.sweeps_wheel);
+  m.wheel_rearms.add(obs_accum_.wheel_rearms - obs_published_.wheel_rearms);
+  m.wheel_orphans.add(obs_accum_.wheel_orphans - obs_published_.wheel_orphans);
+  m.flushes.inc();
+  m.peak_live.observe(static_cast<double>(stats_.max_live_flows));
+  stats_published_ = stats_;
+  obs_published_ = obs_accum_;
 }
 
 void FlowTable::sweep(util::Timestamp now) {
@@ -376,6 +443,7 @@ void FlowTable::sweep(util::Timestamp now) {
 }
 
 void FlowTable::sweep_scan(util::Timestamp now) {
+  if constexpr (obs::kEnabled) ++obs_accum_.sweeps_scan;
   if (live_ == 0) return;
   ended_scratch_.clear();
   expired_keys_.clear();
@@ -405,6 +473,7 @@ void FlowTable::sweep_scan(util::Timestamp now) {
 }
 
 void FlowTable::sweep_wheel(util::Timestamp now) {
+  if constexpr (obs::kEnabled) ++obs_accum_.sweeps_wheel;
   const std::uint64_t target = bucket_of(now);
   if (wheel_entries_ == 0) {
     cursor_ = target;
@@ -427,7 +496,10 @@ void FlowTable::sweep_wheel(util::Timestamp now) {
   // `rearm`) was pushed to the bucket of its advanced deadline.
   const auto resolve = [&](const ExpiryEntry& entry, bool rearm) -> bool {
     const std::size_t idx = find_slot(entry.key, entry.hash);
-    if (idx == kNpos || flows_[idx].id != entry.id) return true;  // flow already gone
+    if (idx == kNpos || flows_[idx].id != entry.id) {
+      if constexpr (obs::kEnabled) ++obs_accum_.wheel_orphans;
+      return true;  // flow already gone
+    }
     Flow& flow = flows_[idx];
     if (flow.expiry_deadline <= now) {
       // now - last_seen >= timeout: the flow idles out in this sweep.
@@ -437,7 +509,10 @@ void FlowTable::sweep_wheel(util::Timestamp now) {
     }
     // The flow saw traffic since this entry was armed; its deadline moved to
     // a strictly future bucket.
-    if (rearm) push_expiry(flow.expiry_deadline, flow.id, entry.key, entry.hash);
+    if (rearm) {
+      if constexpr (obs::kEnabled) ++obs_accum_.wheel_rearms;
+      push_expiry(flow.expiry_deadline, flow.id, entry.key, entry.hash);
+    }
     return rearm;
   };
   // Compacts a bucket in place, keeping entries whose flows are still live.

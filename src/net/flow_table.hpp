@@ -178,6 +178,10 @@ class FlowTable {
   }
   void push_expiry(util::Timestamp deadline, std::uint64_t id, const FiveTuple& key,
                    std::uint64_t hash);
+  /// Publishes accumulated observability deltas (since the last publish) to
+  /// the process metrics registry. Called from flush(); accumulation is
+  /// plain member arithmetic so the packet hot path never touches atomics.
+  void publish_metrics();
   void sweep(util::Timestamp now);
   void sweep_scan(util::Timestamp now);
   void sweep_wheel(util::Timestamp now);
@@ -218,6 +222,21 @@ class FlowTable {
   FlowTableStats stats_;
   util::Timestamp last_sweep_ = 0;
   util::Timestamp clock_ = 0;
+
+  /// Local observability accumulators (plain integers: each table is driven
+  /// by one thread, and the values reach the shared registry only through
+  /// publish_metrics()). `published_` mirrors what was already exported so
+  /// repeated flushes publish deltas, never double-count.
+  struct ObsAccum {
+    std::uint64_t insert_probe_slots = 0;  ///< sum of insert displacements
+    std::uint64_t sweeps_scan = 0;
+    std::uint64_t sweeps_wheel = 0;
+    std::uint64_t wheel_rearms = 0;
+    std::uint64_t wheel_orphans = 0;  ///< entries whose flow was already gone
+  };
+  ObsAccum obs_accum_;
+  ObsAccum obs_published_;
+  FlowTableStats stats_published_;
 };
 
 }  // namespace monohids::net

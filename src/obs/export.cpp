@@ -1,0 +1,126 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace monohids::obs {
+
+namespace {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e999" : "-1e999";  // JSON has no inf
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+/// Prometheus sample name: monohids_ prefix, dots and dashes to underscores.
+std::string prom_name(std::string_view name) {
+  std::string out = "monohids_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, std::span<const SpanSample> spans) {
+  std::ostringstream out;
+  out << "{\n  \"enabled\": " << (kEnabled ? "true" : "false") << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << escape(snapshot.counters[i].name)
+        << "\": " << snapshot.counters[i].value;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << escape(snapshot.gauges[i].name)
+        << "\": " << snapshot.gauges[i].value;
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << escape(h.name) << "\": {\"count\": "
+        << h.count << ", \"sum\": " << format_double(h.sum) << ", \"p50\": "
+        << format_double(h.approx_quantile(0.5)) << ", \"p99\": "
+        << format_double(h.approx_quantile(0.99)) << ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << format_double(h.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.counts[b];
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "},\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << escape(spans[i].name)
+        << "\", \"seq\": " << spans[i].seq << ", \"start_us\": " << spans[i].start_us
+        << ", \"duration_us\": " << spans[i].duration_us
+        << ", \"thread\": " << spans[i].thread << '}';
+  }
+  out << (spans.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prom_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = prom_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << ' ' << g.value << '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prom_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? format_double(h.bounds[b]) : std::string("+Inf");
+      out << name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    out << name << "_sum " << format_double(h.sum) << '\n'
+        << name << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+void write_global_json(std::ostream& out) {
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  const std::vector<SpanSample> spans = TraceRing::global().collect();
+  out << to_json(snapshot, spans);
+}
+
+void write_global_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open metrics JSON path: " + path);
+  write_global_json(out);
+  if (!out.good()) throw std::runtime_error("failed writing metrics JSON: " + path);
+}
+
+}  // namespace monohids::obs

@@ -1,0 +1,40 @@
+// Metrics/span exporters: JSON snapshot and Prometheus-style text.
+//
+// Both formats render a MetricsSnapshot deterministically (samples arrive
+// name-sorted from the registry), so diffs across runs are meaningful. The
+// JSON document also carries the recent span window from the trace ring —
+// one scrape answers both "what are the totals" and "what was the process
+// just doing". With MONOHIDS_OBS=OFF the exporters still link and emit a
+// well-formed (empty) document, so --metrics-json flags work in any build.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace monohids::obs {
+
+/// Renders a snapshot (plus optional spans) as a JSON document:
+/// {"enabled": bool, "counters": {...}, "gauges": {...},
+///  "histograms": {...}, "spans": [...]}.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot,
+                                  std::span<const SpanSample> spans = {});
+
+/// Renders a snapshot in the Prometheus text exposition format: one
+/// "# TYPE" comment per metric, histogram buckets as cumulative
+/// `_bucket{le="..."}` samples plus `_sum` and `_count`. Metric names are
+/// prefixed "monohids_" and dots become underscores.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Snapshots the global registry and trace ring and writes the JSON
+/// document to `path`. Throws std::runtime_error when the file cannot be
+/// written.
+void write_global_json(const std::string& path);
+
+/// Same snapshot, written to a stream (exposed for tests and stdout dumps).
+void write_global_json(std::ostream& out);
+
+}  // namespace monohids::obs

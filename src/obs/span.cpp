@@ -1,0 +1,89 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace monohids::obs {
+
+std::uint64_t now_us() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch).count());
+}
+
+#if MONOHIDS_OBS_ENABLED
+
+namespace {
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+TraceRing& TraceRing::global() {
+  // Leaked (see MetricsRegistry::global()): spans may be recorded from
+  // destructors running during static teardown.
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+}
+
+void TraceRing::record(const char* name, std::uint64_t start_us,
+                       std::uint64_t duration_us) noexcept {
+  const std::uint64_t claim = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim & mask_];
+  // Per-slot seqlock: odd while writing, even when sealed. The release store
+  // of the final (even) sequence publishes the fields; a reader re-checks
+  // the sequence after copying, so a wrapped writer is detected.
+  slot.seq.store(claim * 2 + 1, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.duration_us.store(duration_us, std::memory_order_relaxed);
+  slot.thread.store(thread_ordinal(), std::memory_order_relaxed);
+  slot.seq.store(claim * 2 + 2, std::memory_order_release);
+}
+
+std::vector<SpanSample> TraceRing::collect() const {
+  std::vector<SpanSample> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0 || (seq_before & 1) != 0) continue;  // empty / mid-write
+    SpanSample sample;
+    const char* name = slot.name.load(std::memory_order_relaxed);
+    sample.start_us = slot.start_us.load(std::memory_order_relaxed);
+    sample.duration_us = slot.duration_us.load(std::memory_order_relaxed);
+    sample.thread = slot.thread.load(std::memory_order_relaxed);
+    const std::uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before || name == nullptr) continue;  // torn: drop
+    sample.seq = seq_before / 2 - 1;
+    sample.name = name;
+    out.push_back(std::move(sample));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanSample& a, const SpanSample& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void TraceRing::clear() noexcept {
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_relaxed);
+}
+
+#else  // !MONOHIDS_OBS_ENABLED
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+#endif  // MONOHIDS_OBS_ENABLED
+
+}  // namespace monohids::obs

@@ -1,0 +1,145 @@
+// RAII span tracing with a bounded in-memory ring.
+//
+// A span is one timed region of work ("ingest.batch", "cache.build",
+// "pool.task") with a static name, a start offset and a duration. Spans are
+// recorded into a fixed-capacity global ring — old entries are overwritten,
+// so the ring always holds the most recent window of activity and memory is
+// bounded no matter how long the process runs. The exporter drains the ring
+// into the metrics JSON so a scrape shows not just aggregate counters but
+// *what the process was doing* around the scrape.
+//
+// Concurrency: writers claim a slot with one relaxed fetch_add, then fill
+// the slot's fields, each of which is an atomic written relaxed and sealed
+// by a release store of the slot's sequence number. A reader validates the
+// sequence before and after copying the fields (a per-slot seqlock), so a
+// torn read is detected and dropped rather than exported. Everything is
+// lock-free; a span record is ~5 relaxed stores — cheap enough for
+// batch-granular use, not intended per packet.
+//
+// With MONOHIDS_OBS=OFF the ScopedTimer body is empty and the ring is a
+// stub that records nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace monohids::obs {
+
+/// One exported span. `start_us` counts from the process's first obs clock
+/// read (a stable in-process epoch), `seq` is the global claim order.
+struct SpanSample {
+  std::string name;
+  std::uint64_t seq = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread = 0;
+};
+
+/// Microseconds since the process-local obs epoch (first call anchors 0).
+[[nodiscard]] std::uint64_t now_us() noexcept;
+
+#if MONOHIDS_OBS_ENABLED
+
+/// Bounded lock-free ring of recent spans.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// The global ring the ScopedTimer writes into.
+  static TraceRing& global();
+
+  /// `capacity` is rounded up to a power of two.
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  /// Records one completed span. `name` must have static storage duration
+  /// (string literals): the ring stores the pointer, not a copy.
+  void record(const char* name, std::uint64_t start_us, std::uint64_t duration_us) noexcept;
+
+  /// Copies out currently-valid spans, oldest first. Slots being written
+  /// concurrently are skipped. Returns at most capacity() entries.
+  [[nodiscard]] std::vector<SpanSample> collect() const;
+
+  /// Number of spans ever recorded (recent capacity() of them retained).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Empties the ring (concurrent writers may immediately refill it).
+  void clear() noexcept;
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+ private:
+  struct Slot {
+    // seq: 0 = empty; writers store claim*2+1 while filling, claim*2+2 when
+    // sealed, so readers can detect in-progress and torn writes.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> start_us{0};
+    std::atomic<std::uint64_t> duration_us{0};
+    std::atomic<std::uint32_t> thread{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// RAII span: times its scope with a steady clock and records into the
+/// global ring on destruction; optionally also observes the duration (in
+/// milliseconds) into a Histogram. `name` must be a string literal (or any
+/// static-duration string).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, Histogram histogram = {}) noexcept
+      : name_(name), histogram_(histogram), start_us_(now_us()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const std::uint64_t duration = now_us() - start_us_;
+    TraceRing::global().record(name_, start_us_, duration);
+    histogram_.observe(static_cast<double>(duration) / 1000.0);  // ms
+  }
+
+  /// Elapsed microseconds so far (the span keeps running).
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept { return now_us() - start_us_; }
+
+ private:
+  const char* name_;
+  Histogram histogram_;
+  std::uint64_t start_us_;
+};
+
+#else  // !MONOHIDS_OBS_ENABLED
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 0;
+  static TraceRing& global();
+  explicit TraceRing(std::size_t = kDefaultCapacity) noexcept {}
+  void record(const char*, std::uint64_t, std::uint64_t) noexcept {}
+  [[nodiscard]] std::vector<SpanSample> collect() const { return {}; }
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  void clear() noexcept {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char*, Histogram = {}) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept { return 0; }
+};
+
+#endif  // MONOHIDS_OBS_ENABLED
+
+}  // namespace monohids::obs

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace monohids::sim {
+
+namespace {
+
+/// Cache metrics: one counter bump per lookup and a span + histogram
+/// observation per computed artifact. Lookups are per-(feature, week) —
+/// dozens to thousands per experiment suite — nowhere near a hot loop.
+struct CacheMetrics {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter bypasses;
+  obs::Histogram build_ms;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static CacheMetrics m{
+      registry.counter("cache.hits_total"),
+      registry.counter("cache.misses_total"),
+      registry.counter("cache.bypasses_total"),
+      registry.histogram("cache.build_ms", obs::latency_buckets_ms()),
+  };
+  return m;
+}
+
+}  // namespace
 
 AnalysisCache::AnalysisCache(std::span<const features::FeatureMatrix> users)
     : users_(users) {
@@ -21,6 +48,7 @@ std::shared_ptr<const Value> AnalysisCache::get_or_compute(MemoMap<Key, Value>& 
       const std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.misses;
     }
+    cache_metrics().bypasses.inc();
     return compute();
   }
 
@@ -32,15 +60,18 @@ std::shared_ptr<const Value> AnalysisCache::get_or_compute(MemoMap<Key, Value>& 
       ++counters_.hits;
       auto future = it->second;
       lock.unlock();
+      cache_metrics().hits.inc();
       return future.get();  // blocks only while the first caller computes
     }
     ++counters_.misses;
     map.entries.emplace(key, promise.get_future().share());
   }
+  cache_metrics().misses.inc();
   // Compute outside the lock: the fan-out over the thread pool must not
   // serialize behind unrelated keys, and same-key callers wait on the
   // shared future instead.
   try {
+    const obs::ScopedTimer span("cache.build", cache_metrics().build_ms);
     auto value = compute();
     promise.set_value(value);
     return value;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hids/evaluator.hpp"
+#include "sim/analysis_cache.hpp"
 
 #include "trace/overlay.hpp"
 #include "util/error.hpp"
@@ -12,10 +13,14 @@ namespace monohids::sim {
 FeatureAssignments assign_all_features(const Scenario& scenario, std::uint32_t train_week,
                                        const hids::Grouper& grouper,
                                        const hids::ThresholdHeuristic& heuristic) {
+  // Route through the scenario's analysis cache: repeated configuration
+  // passes (and any experiment sharing the scenario) reuse the memoized
+  // training distributions and assignments instead of rebuilding them.
+  AnalysisCache& cache = scenario.analysis();
   FeatureAssignments assignments;
   for (features::FeatureKind f : features::kAllFeatures) {
-    const auto train = hids::week_distributions(scenario.matrices, f, train_week);
-    assignments[features::index_of(f)] = hids::assign_thresholds(train, grouper, heuristic);
+    assignments[features::index_of(f)] =
+        *cache.thresholds(f, train_week, grouper, heuristic, /*attack=*/nullptr);
   }
   return assignments;
 }

@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <istream>
@@ -90,7 +91,11 @@ void write_packet_trace(std::ostream& out, const std::vector<net::PacketRecord>&
 std::vector<net::PacketRecord> read_packet_trace(std::istream& in) {
   const std::uint64_t count = read_trace_header(in);
   std::vector<net::PacketRecord> packets;
-  packets.reserve(count);
+  // The header's count is untrusted input: reserve only a bounded prefix so
+  // a corrupt count fails with "truncated trace file" at the first missing
+  // record instead of a gigantic up-front allocation.
+  constexpr std::uint64_t kMaxTrustedReserve = 1u << 20;
+  packets.reserve(static_cast<std::size_t>(std::min(count, kMaxTrustedReserve)));
   for (std::uint64_t i = 0; i < count; ++i) packets.push_back(get_record(in));
   return packets;
 }
@@ -142,6 +147,26 @@ bool is_packet_csv_header(const std::vector<std::string>& row) {
   return row.size() == 8 && row[0] == "timestamp_us";
 }
 
+/// stod with the full diagnostic contract: garbage, trailing junk and empty
+/// cells all surface as InputError naming the offending cell, never as a
+/// bare std::invalid_argument (or a silently half-parsed value).
+double parse_double_field(const std::string& text, std::size_t row, std::size_t column) {
+  const auto fail = [&]() -> InputError {
+    return InputError("malformed value in feature CSV at row " + std::to_string(row) +
+                      ", column " + std::to_string(column) + ": \"" + text + '"');
+  };
+  if (text.empty()) throw fail();
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw fail();
+  }
+  if (pos != text.size()) throw fail();
+  return value;
+}
+
 net::PacketRecord parse_packet_row(const std::vector<std::string>& row) {
   MONOHIDS_ENSURE(row.size() == 8, "packet CSV row has the wrong field count");
   net::PacketRecord p;
@@ -187,6 +212,9 @@ std::uint64_t stream_packet_csv(std::istream& in, features::PacketSink& sink,
     if (line.empty()) continue;  // trailing newline / blank line
     batches.push(parse_packet_row(util::csv_parse_line(line)));
   }
+  // getline must have stopped at end-of-file; stopping on a stream error
+  // (badbit mid-file) would otherwise silently truncate the trace.
+  MONOHIDS_ENSURE(in.eof(), "I/O error while streaming packet CSV");
   return batches.finish();
 }
 
@@ -224,7 +252,7 @@ features::FeatureMatrix read_feature_csv(std::istream& in, util::BinGrid grid) {
     MONOHIDS_ENSURE(rows[r].size() == 1 + features::kFeatureCount,
                     "feature CSV row has the wrong column count");
     for (std::size_t c = 0; c < features::kFeatureCount; ++c) {
-      matrix.series[c].set(r - 1, std::stod(rows[r][c + 1]));
+      matrix.series[c].set(r - 1, parse_double_field(rows[r][c + 1], r, c + 1));
     }
   }
   return matrix;

@@ -5,6 +5,8 @@
 #include <exception>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace monohids::util {
@@ -14,6 +16,47 @@ namespace {
 /// Set for the lifetime of a worker's loop; lets parallel_for detect that
 /// it is already running inside the pool.
 thread_local bool t_on_worker_thread = false;
+
+/// Pool metrics, shared by every ThreadPool instance (the shared() pool does
+/// nearly all the work; standalone test pools fold into the same series).
+/// Tasks here are coarse parallel_for shards, so per-task accounting —
+/// a gauge move on submit/pop, two clock reads and a histogram observe per
+/// task — is far off the per-index hot path.
+struct PoolMetrics {
+  obs::Gauge queue_depth;
+  obs::Counter tasks;
+  obs::Counter busy_us;
+  obs::Histogram task_ms;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      obs::MetricsRegistry::global().gauge("threadpool.queue_depth"),
+      obs::MetricsRegistry::global().counter("threadpool.tasks_total"),
+      obs::MetricsRegistry::global().counter("threadpool.busy_micros_total"),
+      obs::MetricsRegistry::global().histogram("threadpool.task_ms",
+                                               obs::latency_buckets_ms()),
+  };
+  return m;
+}
+
+/// Sweep-level counters, registered on the first parallel_for regardless of
+/// which path it takes — on single-core hosts the pool itself may never be
+/// built, and the serial fallback should still be visible on a dashboard.
+struct SweepMetrics {
+  obs::Counter sweeps;
+  obs::Counter serial;
+  obs::Counter indices;
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics m{
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for_total"),
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for_serial_total"),
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for_indices_total"),
+  };
+  return m;
+}
 
 unsigned parse_env_threads() noexcept {
   const char* env = std::getenv("MONOHIDS_THREADS");
@@ -37,6 +80,7 @@ unsigned default_thread_count() noexcept {
 
 ThreadPool::ThreadPool(unsigned thread_count) {
   const unsigned n = thread_count == 0 ? 1 : thread_count;
+  obs::MetricsRegistry::global().gauge("threadpool.workers").add(n);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -50,6 +94,7 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& w : workers_) w.join();
+  obs::MetricsRegistry::global().gauge("threadpool.workers").sub(thread_count());
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -59,6 +104,7 @@ void ThreadPool::submit(std::function<void()> task) {
     MONOHIDS_EXPECT(!stopping_, "pool is shutting down");
     queue_.push_back(std::move(task));
   }
+  pool_metrics().queue_depth.add(1);
   work_available_.notify_one();
 }
 
@@ -73,7 +119,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    PoolMetrics& metrics = pool_metrics();
+    metrics.queue_depth.sub(1);
+    if constexpr (obs::kEnabled) {
+      const std::uint64_t start = obs::now_us();
+      task();
+      const std::uint64_t elapsed = obs::now_us() - start;
+      obs::TraceRing::global().record("pool.task", start, elapsed);
+      metrics.tasks.inc();
+      metrics.busy_us.add(elapsed);
+      metrics.task_ms.observe(static_cast<double>(elapsed) / 1000.0);
+    } else {
+      task();
+    }
   }
 }
 
@@ -92,9 +150,15 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   if (count == 0) return;
 
   const unsigned requested = threads == 0 ? default_thread_count() : threads;
+  if constexpr (obs::kEnabled) {
+    SweepMetrics& m = sweep_metrics();
+    m.sweeps.inc();
+    m.indices.add(count);
+  }
   // Serial path: also taken for nested calls so pool workers never block on
   // tasks that only other (possibly busy) workers could run.
   if (requested <= 1 || count == 1 || ThreadPool::on_worker_thread()) {
+    if constexpr (obs::kEnabled) sweep_metrics().serial.inc();
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

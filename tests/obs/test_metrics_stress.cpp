@@ -1,0 +1,214 @@
+// Concurrency stress for the observability layer and the analysis cache:
+// scrapes racing mutation. These tests exist for the TSan CI job — their
+// assertions are deliberately coarse (totals conserved, no torn samples);
+// the real verdict is the race detector's. Iteration counts are sized to
+// finish in seconds under TSan's ~10x slowdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/analysis_cache.hpp"
+#include "sim/scenario.hpp"
+
+namespace monohids {
+namespace {
+
+TEST(MetricsStress, ConcurrentScrapeAndMutation) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (MONOHIDS_OBS=OFF)";
+  }
+  obs::MetricsRegistry registry;
+  obs::Counter counter = registry.counter("stress.counter");
+  obs::Gauge gauge = registry.gauge("stress.gauge");
+  obs::Histogram hist = registry.histogram("stress.hist", {1.0, 4.0, 16.0});
+
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 2;
+  constexpr int kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kScrapers + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([counter, gauge, hist, w]() mutable {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter.inc();
+        gauge.add(1);
+        hist.observe(static_cast<double>((i + w) % 32));
+        gauge.sub(1);
+      }
+    });
+  }
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([&registry, &stop] {
+      std::uint64_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const obs::MetricsSnapshot snap = registry.snapshot();
+        const std::uint64_t now = snap.counter_value("stress.counter");
+        // Monotone within one scraper: a scrape may lag writers but can
+        // never run a counter backwards or surface a torn value.
+        EXPECT_GE(now, last);
+        EXPECT_LE(now,
+                  static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+        last = now;
+        const obs::HistogramSample* h = snap.histogram("stress.hist");
+        ASSERT_NE(h, nullptr);
+        std::uint64_t bucket_total = 0;
+        for (std::uint64_t c : h->counts) bucket_total += c;
+        EXPECT_EQ(bucket_total, h->count);
+      }
+    });
+  }
+  // One exporter thread: rendering while writers mutate must be safe too.
+  threads.emplace_back([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string doc = obs::to_json(registry.snapshot());
+      EXPECT_FALSE(doc.empty());
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  const obs::MetricsSnapshot final_snap = registry.snapshot();
+  EXPECT_EQ(final_snap.counter_value("stress.counter"),
+            static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_EQ(final_snap.gauge_value("stress.gauge"), 0);
+  const obs::HistogramSample* h = final_snap.histogram("stress.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+TEST(MetricsStress, RegistrationRacesLookup) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (MONOHIDS_OBS=OFF)";
+  }
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 6;
+  constexpr int kNames = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kNames; ++i) {
+        obs::Counter c = registry.counter("race.counter." + std::to_string(i));
+        c.inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(snap.counter_value("race.counter." + std::to_string(i)),
+              static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(MetricsStress, TraceRingWritersRaceCollectors) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (MONOHIDS_OBS=OFF)";
+  }
+  obs::TraceRing ring(64);
+  constexpr int kWriters = 4;
+  constexpr int kSpansPerWriter = 20000;
+  static const char* const kNames[kWriters] = {"ring.a", "ring.b", "ring.c", "ring.d"};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&ring, w] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        ring.record(kNames[w], static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(w));
+      }
+    });
+  }
+  threads.emplace_back([&ring, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const obs::SpanSample& span : ring.collect()) {
+        // A collected span is never torn: its fields must agree with the
+        // writer that produced its name.
+        bool known = false;
+        for (int w = 0; w < kWriters; ++w) {
+          if (span.name == kNames[w]) {
+            known = true;
+            EXPECT_EQ(span.duration_us, static_cast<std::uint64_t>(w));
+            EXPECT_LT(span.start_us, static_cast<std::uint64_t>(kSpansPerWriter));
+          }
+        }
+        EXPECT_TRUE(known) << "collected span with unknown name";
+      }
+    }
+  });
+  threads.emplace_back([&ring, &stop] {
+    while (!stop.load(std::memory_order_acquire)) ring.clear();
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kWriters) * kSpansPerWriter);
+}
+
+TEST(AnalysisCacheStress, LookupsRaceScrapesAndClears) {
+  // Small scenario: the point is contention on the cache's lock and promise
+  // machinery while the obs scrape path runs concurrently, not sim scale.
+  sim::ScenarioConfig config;
+  config.set_users(8);
+  config.set_weeks(2);
+  config.set_seed(99);
+  const sim::Scenario scenario = sim::build_scenario(config);
+  sim::AnalysisCache cache(scenario.matrices);
+
+  constexpr int kLookupThreads = 4;
+  constexpr int kRounds = 40;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kLookupThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const auto feature =
+          features::kAllFeatures[static_cast<std::size_t>(t) % features::kFeatureCount];
+      for (int round = 0; round < kRounds; ++round) {
+        const auto week = cache.week(feature, static_cast<std::uint32_t>(round % 2),
+                                     /*threads=*/1);
+        ASSERT_EQ(week->size(), 8u);
+        const auto attack = cache.attack_model(feature, 0, /*steps=*/8, /*threads=*/1);
+        ASSERT_FALSE(attack->sizes.empty());
+      }
+    });
+  }
+  // Scraper: cache counters + the global obs registry (cache.* series).
+  threads.emplace_back([&cache, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto counters = cache.counters();
+      EXPECT_GE(counters.misses + counters.hits, 0u);
+      const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+      EXPECT_GE(snap.counter_value("cache.misses_total"), 0u);
+    }
+  });
+  // Invalidator: clear() must be safe against in-flight lookups.
+  threads.emplace_back([&cache, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      cache.clear();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kLookupThreads; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kLookupThreads; t < threads.size(); ++t) threads[t].join();
+
+  const auto counters = cache.counters();
+  EXPECT_GE(counters.misses, 1u);
+}
+
+}  // namespace
+}  // namespace monohids

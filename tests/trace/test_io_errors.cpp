@@ -1,0 +1,298 @@
+// Error paths of every trace reader: truncated or corrupt binary traces,
+// packet/feature CSVs and pcap captures must fail with an InputError whose
+// message names the problem — never crash, never allocate absurdly off an
+// untrusted header field, and never silently return a truncated trace.
+// Writers produce the well-formed bytes; each test then damages them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/pcap.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+
+namespace monohids::trace {
+namespace {
+
+/// Minimal sink for the streaming readers: counts what arrives.
+class CountingSink final : public features::PacketSink {
+ public:
+  void on_batch(std::span<const net::PacketRecord> batch) override {
+    packets += batch.size();
+  }
+  std::uint64_t packets = 0;
+};
+
+std::vector<net::PacketRecord> sample_packets() {
+  std::vector<net::PacketRecord> packets;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    net::PacketRecord p;
+    p.timestamp = i * 1000;
+    p.tuple.src_ip = net::Ipv4Address(0x0A000001);
+    p.tuple.dst_ip = net::Ipv4Address(0x0A000002 + static_cast<std::uint32_t>(i));
+    p.tuple.src_port = static_cast<std::uint16_t>(40000 + i);
+    p.tuple.dst_port = 80;
+    p.tuple.protocol = net::Protocol::Tcp;
+    p.tcp_flags = net::TcpFlags::Syn;
+    p.payload_bytes = 100;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+std::string binary_trace_bytes() {
+  std::ostringstream out;
+  write_packet_trace(out, sample_packets());
+  return out.str();
+}
+
+/// Asserts that both reader forms reject `bytes` with an InputError whose
+/// message contains `diagnostic`.
+void expect_binary_readers_reject(const std::string& bytes, const std::string& diagnostic) {
+  {
+    std::istringstream in(bytes);
+    try {
+      (void)read_packet_trace(in);
+      FAIL() << "read_packet_trace accepted corrupt input";
+    } catch (const InputError& e) {
+      EXPECT_NE(std::string(e.what()).find(diagnostic), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  }
+  {
+    std::istringstream in(bytes);
+    CountingSink sink;
+    EXPECT_THROW((void)stream_packet_trace(in, sink), InputError);
+  }
+}
+
+TEST(TraceIoErrors, BinaryBadMagicIsRejected) {
+  std::string bytes = binary_trace_bytes();
+  bytes[0] = 'X';
+  expect_binary_readers_reject(bytes, "not a monohids trace file");
+}
+
+TEST(TraceIoErrors, BinaryUnsupportedVersionIsRejected) {
+  std::string bytes = binary_trace_bytes();
+  bytes[8] = 99;  // version field follows the 8-byte magic, little-endian
+  expect_binary_readers_reject(bytes, "unsupported trace version");
+}
+
+TEST(TraceIoErrors, BinaryTruncatedHeaderIsRejected) {
+  const std::string bytes = binary_trace_bytes();
+  for (std::size_t keep : {0u, 4u, 9u, 15u}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    std::istringstream in(bytes.substr(0, keep));
+    EXPECT_THROW((void)read_packet_trace(in), InputError);
+  }
+}
+
+TEST(TraceIoErrors, BinaryTruncatedRecordsAreRejectedNotSilentlyShortened) {
+  const std::string bytes = binary_trace_bytes();
+  // Cut mid-record and at a record boundary: the header still promises 8
+  // records, so both cuts must throw rather than return fewer.
+  expect_binary_readers_reject(bytes.substr(0, bytes.size() - 3), "truncated trace file");
+  expect_binary_readers_reject(bytes.substr(0, bytes.size() - 24), "truncated trace file");
+}
+
+TEST(TraceIoErrors, BinaryCorruptGiantCountFailsFastWithoutAllocating) {
+  std::string bytes = binary_trace_bytes();
+  // Overwrite the count (8 bytes at offset 12) with 2^60: the reader must
+  // not trust it with a reserve() — it fails at the first missing record.
+  for (std::size_t i = 0; i < 8; ++i) bytes[12 + i] = 0;
+  bytes[12 + 7] = 0x10;
+  expect_binary_readers_reject(bytes, "truncated trace file");
+}
+
+std::string packet_csv_bytes() {
+  std::ostringstream out;
+  write_packet_csv(out, sample_packets());
+  return out.str();
+}
+
+void expect_csv_readers_reject(const std::string& text) {
+  {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_packet_csv(in), InputError);
+  }
+  {
+    std::istringstream in(text);
+    CountingSink sink;
+    EXPECT_THROW((void)stream_packet_csv(in, sink), InputError);
+  }
+}
+
+TEST(TraceIoErrors, PacketCsvEmptyAndHeaderlessInputsAreRejected) {
+  expect_csv_readers_reject("");
+  expect_csv_readers_reject("nonsense,header\n1,2\n");
+}
+
+TEST(TraceIoErrors, PacketCsvMalformedRowsAreRejected) {
+  const std::string good = packet_csv_bytes();
+  const std::string header = good.substr(0, good.find('\n') + 1);
+  // Wrong field count, garbage timestamp, trailing junk after a number,
+  // unknown protocol, out-of-range flags: each must throw, including from
+  // the streaming reader after it already accepted earlier good rows.
+  for (const std::string& bad_row :
+       {std::string("1,2,3\n"),
+        std::string("abc,10.0.0.1,10.0.0.2,1,2,tcp,2,0\n"),
+        std::string("17x,10.0.0.1,10.0.0.2,1,2,tcp,2,0\n"),
+        std::string("17,10.0.0.1,10.0.0.2,1,2,quic,2,0\n"),
+        std::string("17,10.0.0.1,10.0.0.2,1,2,tcp,999,0\n")}) {
+    SCOPED_TRACE("row: " + bad_row);
+    expect_csv_readers_reject(header + bad_row);
+    expect_csv_readers_reject(good + bad_row);
+  }
+}
+
+/// streambuf whose underflow throws once the good prefix is consumed —
+/// the stdlib turns that into badbit on the reading istream, which is how a
+/// mid-file I/O error (disk fault, dropped NFS mount) actually presents.
+class FailingAfterPrefixBuf final : public std::streambuf {
+ public:
+  explicit FailingAfterPrefixBuf(std::string prefix) : prefix_(std::move(prefix)) {
+    setg(prefix_.data(), prefix_.data(), prefix_.data() + prefix_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("simulated I/O fault"); }
+
+ private:
+  std::string prefix_;
+};
+
+TEST(TraceIoErrors, PacketCsvStreamFaultIsAnErrorNotATruncatedTrace) {
+  // Header plus a few complete rows, then the stream dies. The streaming
+  // reader must report the fault instead of returning the prefix as if the
+  // trace ended there.
+  const std::string good = packet_csv_bytes();
+  FailingAfterPrefixBuf buf(good);
+  std::istream in(&buf);
+  CountingSink sink;
+  try {
+    (void)stream_packet_csv(in, sink);
+    FAIL() << "stream_packet_csv silently truncated on a stream fault";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("I/O error"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(TraceIoErrors, FeatureCsvStructuralProblemsAreRejected) {
+  const util::BinGrid grid = util::BinGrid::minutes(15);
+  for (const std::string& text :
+       {std::string(""), std::string("bin_start_us,a\n"),
+        std::string("bin_start_us,a,b,c,d,e,f\n"),  // header only, no data
+        std::string("bin_start_us,a,b,c,d,e,f\n0,1,2,3\n")}) {
+    SCOPED_TRACE("text: " + text);
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_feature_csv(in, grid), InputError);
+  }
+}
+
+TEST(TraceIoErrors, FeatureCsvMalformedValuesNameTheCell) {
+  const util::BinGrid grid = util::BinGrid::minutes(15);
+  for (const std::string& cell : {std::string("abc"), std::string("1.5junk"), std::string("")}) {
+    SCOPED_TRACE("cell: \"" + cell + "\"");
+    std::istringstream in("bin_start_us,a,b,c,d,e,f\n0,1,2," + cell + ",4,5,6\n");
+    try {
+      (void)read_feature_csv(in, grid);
+      FAIL() << "read_feature_csv accepted malformed cell";
+    } catch (const InputError& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("row 1"), std::string::npos) << "actual: " << message;
+      EXPECT_NE(message.find("column 3"), std::string::npos) << "actual: " << message;
+    }
+  }
+}
+
+std::string pcap_bytes() {
+  std::ostringstream out;
+  write_pcap(out, sample_packets());
+  return out.str();
+}
+
+void expect_pcap_readers_reject(const std::string& bytes, const std::string& diagnostic) {
+  {
+    std::istringstream in(bytes);
+    try {
+      (void)read_pcap(in);
+      FAIL() << "read_pcap accepted corrupt input";
+    } catch (const InputError& e) {
+      EXPECT_NE(std::string(e.what()).find(diagnostic), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  }
+  {
+    std::istringstream in(bytes);
+    CountingSink sink;
+    EXPECT_THROW((void)stream_pcap(in, sink), InputError);
+  }
+}
+
+TEST(TraceIoErrors, PcapEmptyAndBadMagicAreRejected) {
+  expect_pcap_readers_reject("", "pcap stream is empty");
+  std::string bytes = pcap_bytes();
+  bytes[0] = 0x00;
+  bytes[1] = 0x01;
+  bytes[2] = 0x02;
+  bytes[3] = 0x03;
+  expect_pcap_readers_reject(bytes, "bad magic");
+}
+
+TEST(TraceIoErrors, PcapTruncatedGlobalHeaderIsRejected) {
+  // The global header is 24 bytes; anything shorter after a valid magic is
+  // a truncation, not an empty capture.
+  expect_pcap_readers_reject(pcap_bytes().substr(0, 16), "truncated pcap global header");
+}
+
+TEST(TraceIoErrors, PcapTruncatedRecordHeaderAndBodyAreRejected) {
+  const std::string bytes = pcap_bytes();
+  // Record headers are 16 bytes at offset 24: cut inside the first record
+  // header, then inside the first record body.
+  expect_pcap_readers_reject(bytes.substr(0, 24 + 7), "truncated pcap record header");
+  expect_pcap_readers_reject(bytes.substr(0, 24 + 16 + 10), "truncated pcap record body");
+  // And mid-capture: several full records, then a cut body.
+  expect_pcap_readers_reject(bytes.substr(0, bytes.size() - 5),
+                             "truncated pcap record body");
+}
+
+TEST(TraceIoErrors, PcapImplausibleRecordLengthIsRejected) {
+  std::string bytes = pcap_bytes();
+  // incl_len lives at record offset +8; claim 256 MiB for the first record.
+  const std::size_t incl_len_at = 24 + 8;
+  bytes[incl_len_at + 0] = 0x00;
+  bytes[incl_len_at + 1] = 0x00;
+  bytes[incl_len_at + 2] = 0x00;
+  bytes[incl_len_at + 3] = 0x10;
+  expect_pcap_readers_reject(bytes, "implausible pcap record length");
+}
+
+TEST(TraceIoErrors, ReadersStillAcceptTheUndamagedBytes) {
+  // Guard the tests above against drifting offsets: the pristine writer
+  // output must round-trip through every reader.
+  {
+    std::istringstream in(binary_trace_bytes());
+    EXPECT_EQ(read_packet_trace(in).size(), 8u);
+  }
+  {
+    std::istringstream in(packet_csv_bytes());
+    EXPECT_EQ(read_packet_csv(in).size(), 8u);
+  }
+  {
+    std::istringstream in(pcap_bytes());
+    EXPECT_EQ(read_pcap(in).packets.size(), 8u);
+  }
+  {
+    std::istringstream in(binary_trace_bytes());
+    CountingSink sink;
+    EXPECT_EQ(stream_packet_trace(in, sink), 8u);
+    EXPECT_EQ(sink.packets, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace monohids::trace
