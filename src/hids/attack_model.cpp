@@ -1,17 +1,84 @@
 #include "hids/attack_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
+#include "stats/kernels.hpp"
 #include "util/error.hpp"
 
 namespace monohids::hids {
 
 double AttackModel::mean_fn(const stats::EmpiricalDistribution& g, double t) const {
   MONOHIDS_EXPECT(!sizes.empty(), "attack model has no sizes");
+  if (stats::kernels::batching_enabled() && !g.empty() && sizes.size() >= 8) {
+    // One batched rank call for the whole sweep instead of one binary
+    // search per size. The shifted queries t - b are the exact subtractions
+    // the per-call path feeds to cdf, and ranks are exact integers, so the
+    // size-ordered accumulation below reproduces the seed sum bit-for-bit.
+    thread_local std::vector<double> queries;
+    thread_local std::vector<std::uint32_t> ranks;
+    queries.resize(sizes.size());
+    ranks.resize(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) queries[i] = t - sizes[i];
+    if (const auto table = g.rank_table(); !table.empty()) {
+      const auto n32 = static_cast<std::uint32_t>(g.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        ranks[i] = stats::kernels::rank_from_table(table, n32, queries[i]);
+      }
+    } else {
+      stats::kernels::active().rank_unsorted(g.samples(), queries, 0.0, ranks.data());
+    }
+    const auto n = static_cast<double>(g.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      acc += static_cast<double>(ranks[i]) / n;
+    }
+    return acc / static_cast<double>(sizes.size());
+  }
   double acc = 0.0;
   for (double b : sizes) acc += g.shifted_cdf(b, t);
   return acc / static_cast<double>(sizes.size());
+}
+
+void AttackModel::mean_fn_batch(const stats::EmpiricalDistribution& g,
+                                std::span<const double> thresholds,
+                                std::span<double> out) const {
+  MONOHIDS_EXPECT(!sizes.empty(), "attack model has no sizes");
+  MONOHIDS_EXPECT(!g.empty(), "cdf of empty distribution");
+  MONOHIDS_EXPECT(thresholds.size() == out.size(), "mean_fn_batch output size mismatch");
+  assert(std::is_sorted(thresholds.begin(), thresholds.end()));
+  if (thresholds.empty()) return;
+  const std::size_t T = thresholds.size();
+  const std::size_t S = sizes.size();
+  thread_local std::vector<std::uint32_t> ranks;
+  ranks.resize(T * S);
+  if (const auto table = g.rank_table(); !table.empty()) {
+    // Integer-count samples: the whole size x threshold grid is T*S O(1)
+    // table loads — no arena pass at all. Same exact ranks as rank_grid.
+    const auto n32 = static_cast<std::uint32_t>(g.size());
+    for (std::size_t s = 0; s < S; ++s) {
+      const double shift = sizes[s];
+      std::uint32_t* row = ranks.data() + s * T;
+      for (std::size_t j = 0; j < T; ++j) {
+        row[j] = stats::kernels::rank_from_table(table, n32, thresholds[j] - shift);
+      }
+    }
+  } else {
+    stats::kernels::active().rank_grid(g.samples(), thresholds, sizes, ranks.data());
+  }
+  const auto n = static_cast<double>(g.size());
+  std::fill(out.begin(), out.end(), 0.0);
+  // Per-threshold accumulation in size order — the same floating-point
+  // operation sequence as the per-call loop, so sums match bit-for-bit.
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::uint32_t* row = ranks.data() + s * T;
+    for (std::size_t j = 0; j < T; ++j) {
+      out[j] += static_cast<double>(row[j]) / n;
+    }
+  }
+  const auto count = static_cast<double>(S);
+  for (std::size_t j = 0; j < T; ++j) out[j] /= count;
 }
 
 AttackModel linear_attack_sweep(double max_size, std::uint32_t steps) {

@@ -20,8 +20,19 @@ struct AttackModel {
   std::vector<double> sizes;  ///< candidate per-bin attack magnitudes (> 0)
 
   /// Mean false-negative rate of threshold `t` against this sweep, under
-  /// benign behavior `g`: mean over sizes of P(g + b <= t).
+  /// benign behavior `g`: mean over sizes of P(g + b <= t). Internally
+  /// batches the per-size rank queries through stats::kernels (bit-identical
+  /// to the per-size loop; disable via kernels::set_batching_enabled).
   [[nodiscard]] double mean_fn(const stats::EmpiricalDistribution& g, double t) const;
+
+  /// Batched mean_fn over a whole ascending threshold sweep: out[j] =
+  /// mean_fn(g, thresholds[j]), evaluated as one attack-size x threshold
+  /// grid of shifted ranks in a single tiled pass over g's arena
+  /// (stats::kernels rank_grid). Accumulation runs in the same size order
+  /// and with the same rank/n divisions as the per-call path, so results
+  /// are bit-identical on every SIMD back-end.
+  void mean_fn_batch(const stats::EmpiricalDistribution& g,
+                     std::span<const double> thresholds, std::span<double> out) const;
 };
 
 /// Builds a linear sweep of `steps` sizes over (0, max_size].

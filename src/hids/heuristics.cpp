@@ -5,7 +5,37 @@
 #include <sstream>
 
 #include "stats/classification.hpp"
+#include "stats/kernels.hpp"
 #include "util/error.hpp"
+
+namespace monohids::hids {
+namespace {
+
+// Shared batched sweep for the FN-aware heuristics: candidate thresholds are
+// ascending (candidate_thresholds emits distinct training values in order),
+// so one exceedance merge-scan plus one rank_grid pass replaces the
+// 2 * |candidates| binary-search calls of the per-threshold loop. Both
+// fill-ins are bit-identical to the per-call operations, so the selection
+// loops below pick the same threshold the seed path picks.
+struct SweepRates {
+  std::vector<double> thresholds;
+  std::vector<double> fp;  ///< fp[j] = training.exceedance(thresholds[j])
+  std::vector<double> fn;  ///< fn[j] = attack.mean_fn(training, thresholds[j])
+};
+
+SweepRates batched_sweep(const stats::EmpiricalDistribution& training,
+                         const AttackModel& attack) {
+  SweepRates rates;
+  rates.thresholds = candidate_thresholds(training);
+  rates.fp.resize(rates.thresholds.size());
+  rates.fn.resize(rates.thresholds.size());
+  training.exceedance_batch(rates.thresholds, rates.fp);
+  attack.mean_fn_batch(training, rates.thresholds, rates.fn);
+  return rates;
+}
+
+}  // namespace
+}  // namespace monohids::hids
 
 namespace monohids::hids {
 
@@ -57,6 +87,21 @@ double FMeasureHeuristic::compute(const stats::EmpiricalDistribution& training,
                   "F-measure heuristic requires an attack model");
   double best_t = training.max();
   double best_f = -1.0;
+  if (stats::kernels::batching_enabled()) {
+    const SweepRates rates = batched_sweep(training, *attack);
+    for (std::size_t j = 0; j < rates.thresholds.size(); ++j) {
+      const double tp = 1.0 - rates.fn[j];
+      const double fp = rates.fp[j];
+      const double prec = (tp + fp) > 0.0 ? tp / (tp + fp) : 0.0;
+      const double rec = tp;
+      const double f = (prec + rec) > 0.0 ? 2.0 * prec * rec / (prec + rec) : 0.0;
+      if (f > best_f) {
+        best_f = f;
+        best_t = rates.thresholds[j];
+      }
+    }
+    return best_t;
+  }
   for (double t : candidate_thresholds(training)) {
     // Precision/recall over the implied labelled set: every (benign sample)
     // is a negative; every (benign + b) is a positive, uniformly over b.
@@ -87,6 +132,17 @@ double UtilityHeuristic::compute(const stats::EmpiricalDistribution& training,
                   "utility heuristic requires an attack model");
   double best_t = training.max();
   double best_u = -2.0;
+  if (stats::kernels::batching_enabled()) {
+    const SweepRates rates = batched_sweep(training, *attack);
+    for (std::size_t j = 0; j < rates.thresholds.size(); ++j) {
+      const double u = stats::utility(rates.fn[j], rates.fp[j], w_);
+      if (u > best_u) {
+        best_u = u;
+        best_t = rates.thresholds[j];
+      }
+    }
+    return best_t;
+  }
   for (double t : candidate_thresholds(training)) {
     const double fp_rate = training.exceedance(t);
     const double fn_rate = attack->mean_fn(training, t);

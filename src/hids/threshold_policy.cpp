@@ -41,7 +41,10 @@ ThresholdAssignment assign_thresholds(
         spans.reserve(members[g].size());
         for (std::uint32_t u : members[g]) spans.push_back(training_users[u].samples());
         stats::merge_sorted_spans(spans, pooled_buffer);
-        const auto pooled = stats::EmpiricalDistribution::view_of_sorted(pooled_buffer);
+        // The heuristic sweeps a dense threshold x attack-size grid over the
+        // pool, so the O(n + K) rank table pays for itself immediately.
+        const auto pooled = stats::EmpiricalDistribution::view_of_sorted(
+            pooled_buffer, /*with_rank_table=*/true);
         out.threshold_of_group[g] = heuristic.compute(pooled, attack);
       },
       threads);

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "stats/kernels.hpp"
 #include "stats/quantile.hpp"
 #include "util/error.hpp"
 
@@ -15,10 +16,16 @@ EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples) {
   for (double v : samples) {
     MONOHIDS_EXPECT(std::isfinite(v), "empirical samples must be finite");
   }
-  std::sort(samples.begin(), samples.end());
+  // Traffic-count features are small non-negative integers, where the
+  // kernels' counting sweep sorts in O(n + K); anything else falls back to
+  // comparison sort. Both produce the same ascending multiset bit-for-bit.
+  if (!kernels::batching_enabled() || !kernels::sort_counts(samples)) {
+    std::sort(samples.begin(), samples.end());
+  }
   auto arena = std::make_shared<const std::vector<double>>(std::move(samples));
   sorted_ = std::span<const double>(*arena);
   storage_ = std::move(arena);
+  maybe_build_rank_table();
 }
 
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sorted, sorted_tag) {
@@ -26,17 +33,28 @@ EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sorted, sorted_
   auto arena = std::make_shared<const std::vector<double>>(std::move(sorted));
   sorted_ = std::span<const double>(*arena);
   storage_ = std::move(arena);
+  maybe_build_rank_table();
 }
 
 EmpiricalDistribution EmpiricalDistribution::from_sorted(std::vector<double> sorted) {
   return EmpiricalDistribution(std::move(sorted), sorted_tag{});
 }
 
-EmpiricalDistribution EmpiricalDistribution::view_of_sorted(std::span<const double> sorted) {
+EmpiricalDistribution EmpiricalDistribution::view_of_sorted(std::span<const double> sorted,
+                                                            bool with_rank_table) {
   assert(std::is_sorted(sorted.begin(), sorted.end()));
   EmpiricalDistribution view;
   view.sorted_ = sorted;
+  if (with_rank_table) view.maybe_build_rank_table();
   return view;
+}
+
+void EmpiricalDistribution::maybe_build_rank_table() {
+  if (!kernels::batching_enabled()) return;
+  std::vector<std::uint32_t> cum;
+  if (kernels::build_rank_table(sorted_, cum)) {
+    rank_table_ = std::make_shared<const std::vector<std::uint32_t>>(std::move(cum));
+  }
 }
 
 double EmpiricalDistribution::min() const {
@@ -81,6 +99,52 @@ double EmpiricalDistribution::cdf(double x) const {
 
 double EmpiricalDistribution::exceedance(double x) const { return 1.0 - cdf(x); }
 
+void EmpiricalDistribution::rank_batch(std::span<const double> xs,
+                                       std::span<std::uint32_t> out) const {
+  MONOHIDS_EXPECT(xs.size() == out.size(), "rank_batch output size mismatch");
+  if (xs.empty()) return;
+  if (rank_table_ != nullptr && kernels::batching_enabled()) {
+    const auto table = std::span<const std::uint32_t>(*rank_table_);
+    const auto n = static_cast<std::uint32_t>(sorted_.size());
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      out[j] = kernels::rank_from_table(table, n, xs[j]);
+    }
+    return;
+  }
+  const auto& ops = kernels::active();
+  if (std::is_sorted(xs.begin(), xs.end())) {
+    ops.rank_sorted(sorted_, xs, 0.0, out.data());
+  } else {
+    ops.rank_unsorted(sorted_, xs, 0.0, out.data());
+  }
+}
+
+void EmpiricalDistribution::cdf_batch(std::span<const double> xs,
+                                      std::span<double> out) const {
+  MONOHIDS_EXPECT(!empty(), "cdf of empty distribution");
+  MONOHIDS_EXPECT(xs.size() == out.size(), "cdf_batch output size mismatch");
+  thread_local std::vector<std::uint32_t> ranks;
+  ranks.resize(xs.size());
+  rank_batch(xs, ranks);
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    out[j] = static_cast<double>(ranks[j]) / n;
+  }
+}
+
+void EmpiricalDistribution::exceedance_batch(std::span<const double> xs,
+                                             std::span<double> out) const {
+  MONOHIDS_EXPECT(!empty(), "cdf of empty distribution");
+  MONOHIDS_EXPECT(xs.size() == out.size(), "exceedance_batch output size mismatch");
+  thread_local std::vector<std::uint32_t> ranks;
+  ranks.resize(xs.size());
+  rank_batch(xs, ranks);
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    out[j] = 1.0 - static_cast<double>(ranks[j]) / n;
+  }
+}
+
 double EmpiricalDistribution::shifted_cdf(double shift, double t) const {
   return cdf(t - shift);
 }
@@ -108,6 +172,11 @@ EmpiricalDistribution EmpiricalDistribution::merge(
 
 void merge_sorted_spans(std::span<const std::span<const double>> parts,
                         std::vector<double>& out) {
+  // Small-integer-valued pools (traffic counts) merge with one counting
+  // sweep — O(total + K) instead of O(total log k) heap operations — with
+  // bit-identical output; everything else takes the heap path below.
+  if (kernels::batching_enabled() && kernels::counting_merge(parts, out)) return;
+
   out.clear();
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();

@@ -14,6 +14,7 @@
 // view_of_sorted() for transient pooled distributions.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -36,8 +37,11 @@ class EmpiricalDistribution {
   /// answers every query of an owning distribution but holds no arena: it
   /// is valid only while `sorted` outlives it and is not reallocated or
   /// reordered. Used for scratch pooled distributions whose backing buffer
-  /// is reused (see hids::assign_thresholds).
-  [[nodiscard]] static EmpiricalDistribution view_of_sorted(std::span<const double> sorted);
+  /// is reused (see hids::assign_thresholds). Pass `with_rank_table` when
+  /// the view is about to absorb a dense rank workload (threshold sweeps);
+  /// the O(n + K) table build is amortized by O(1) lookups afterwards.
+  [[nodiscard]] static EmpiricalDistribution view_of_sorted(std::span<const double> sorted,
+                                                            bool with_rank_table = false);
 
   [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
@@ -64,6 +68,34 @@ class EmpiricalDistribution {
   /// P(X > x): the false-positive rate of a detector thresholded at x.
   [[nodiscard]] double exceedance(double x) const;
 
+  /// Batched cdf: out[j] = cdf(xs[j]) for the whole query batch at once.
+  /// Answered by one merge-scan over the arena when `xs` is ascending
+  /// (O(n + T) for a threshold sweep instead of O(T log n)) and by
+  /// branchless vectorized rank queries otherwise (stats::kernels). The
+  /// results are bit-identical to per-call cdf() on every SIMD back-end —
+  /// ranks are exact integers and the rank/n division is the same operation
+  /// the scalar path performs.
+  void cdf_batch(std::span<const double> xs, std::span<double> out) const;
+
+  /// Batched exceedance: out[j] = exceedance(xs[j]), same contract as
+  /// cdf_batch (and the same 1.0 - cdf arithmetic as the per-call path).
+  void exceedance_batch(std::span<const double> xs, std::span<double> out) const;
+
+  /// Batched upper-bound ranks: out[j] = #samples <= xs[j], the integer
+  /// primitive behind cdf_batch (exposed for consumers that post-process
+  /// ranks themselves, e.g. AttackModel::mean_fn_batch).
+  void rank_batch(std::span<const double> xs, std::span<std::uint32_t> out) const;
+
+  /// Cumulative rank table cum[k] = #samples <= k, present when the samples
+  /// are small integer counts (stats::kernels::build_rank_table) and the
+  /// distribution was built with batching enabled; empty otherwise. Each
+  /// rank query against it is one O(1) load with the same exact integer
+  /// result as a binary search over the samples.
+  [[nodiscard]] std::span<const std::uint32_t> rank_table() const noexcept {
+    return rank_table_ != nullptr ? std::span<const std::uint32_t>(*rank_table_)
+                                  : std::span<const std::uint32_t>{};
+  }
+
   /// P(X + shift <= t): miss probability of an additive attack of size
   /// `shift` against threshold `t` (the paper's FN = P(g + b < T); with
   /// integer bin counts the <= / < distinction only matters at exact
@@ -85,8 +117,13 @@ class EmpiricalDistribution {
   struct sorted_tag {};
   EmpiricalDistribution(std::vector<double> sorted, sorted_tag);
 
+  void maybe_build_rank_table();
+
   std::shared_ptr<const std::vector<double>> storage_;  ///< arena (null for views)
   std::span<const double> sorted_;                      ///< ascending samples
+  /// Shared like the arena: copies reuse one table. Null when the samples
+  /// are not small integer counts or the table was never requested.
+  std::shared_ptr<const std::vector<std::uint32_t>> rank_table_;
 };
 
 /// K-way merges ascending spans into `out` (cleared first, capacity reused

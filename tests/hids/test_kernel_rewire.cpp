@@ -1,0 +1,235 @@
+// Batch-on vs batch-off identity for every consumer rewired onto the
+// stats::kernels layer. The batching toggle swaps whole code paths (merge
+// scans, grid passes, counting sorts) for the seed's per-call loops, so
+// bitwise-equal results here are the contract that keeps AnalysisCache
+// memoization valid: a cached artifact must not depend on which path — or
+// which SIMD back-end — produced it. Every check runs once per available
+// back-end, forced in-process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "hids/attack_model.hpp"
+#include "hids/attacker.hpp"
+#include "hids/detector.hpp"
+#include "hids/evaluator.hpp"
+#include "hids/heuristics.hpp"
+#include "hids/roc.hpp"
+#include "stats/empirical.hpp"
+#include "stats/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::hids {
+namespace {
+
+namespace kernels = stats::kernels;
+using kernels::Backend;
+using stats::EmpiricalDistribution;
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::Scalar, Backend::Avx2, Backend::Neon}) {
+    if (kernels::backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+class DispatchGuard {
+ public:
+  DispatchGuard() : batching_(kernels::batching_enabled()) {}
+  ~DispatchGuard() {
+    kernels::reset_backend();
+    kernels::set_batching_enabled(batching_);
+  }
+
+ private:
+  bool batching_;
+};
+
+/// Count-like traffic samples (small integers, heavy ties) — the regime the
+/// counting fast paths trigger on, same as real bin counts.
+std::vector<double> count_samples(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = static_cast<double>(rng() % 60);
+  return v;
+}
+
+/// Continuous samples — exercises the comparison-sort / heap-merge fallback
+/// alongside the batched rank kernels.
+std::vector<double> continuous_samples(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform01() * 80.0;
+  return v;
+}
+
+/// Runs `compute` once with batching off (the seed path) and once per
+/// available back-end with batching on, asserting bitwise-equal results.
+template <typename Fn>
+void expect_path_identity(Fn&& compute, const char* what) {
+  DispatchGuard guard;
+  kernels::set_batching_enabled(false);
+  const auto reference = compute();
+  kernels::set_batching_enabled(true);
+  for (Backend b : available_backends()) {
+    ASSERT_TRUE(kernels::force_backend(b));
+    const auto batched = compute();
+    EXPECT_EQ(batched, reference)
+        << what << " diverges on " << kernels::backend_name(b);
+  }
+}
+
+TEST(KernelRewire, ArenaSortIsBitIdentical) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    expect_path_identity(
+        [&] {
+          EmpiricalDistribution d(count_samples(seed, 700));
+          return std::vector<double>(d.samples().begin(), d.samples().end());
+        },
+        "EmpiricalDistribution counting sort");
+    expect_path_identity(
+        [&] {
+          EmpiricalDistribution d(continuous_samples(seed, 700));
+          return std::vector<double>(d.samples().begin(), d.samples().end());
+        },
+        "EmpiricalDistribution comparison sort");
+  }
+}
+
+TEST(KernelRewire, PooledMergeIsBitIdentical) {
+  expect_path_identity(
+      [] {
+        std::vector<EmpiricalDistribution> parts;
+        for (std::uint64_t s = 0; s < 6; ++s) {
+          parts.emplace_back(count_samples(100 + s, 300));
+        }
+        const EmpiricalDistribution pooled = EmpiricalDistribution::merge(parts);
+        return std::vector<double>(pooled.samples().begin(), pooled.samples().end());
+      },
+      "pooled counting merge");
+}
+
+TEST(KernelRewire, MeanFnIsBitIdentical) {
+  const EmpiricalDistribution g(count_samples(7, 2000));
+  const AttackModel attack = linear_attack_sweep(60.0, 64);
+  expect_path_identity(
+      [&] {
+        std::vector<double> out;
+        for (double t : {0.0, 7.0, 13.5, 40.0, 59.0, 61.0}) {
+          out.push_back(attack.mean_fn(g, t));
+        }
+        return out;
+      },
+      "AttackModel::mean_fn");
+}
+
+TEST(KernelRewire, MeanFnBatchMatchesPerCallSeedPath) {
+  DispatchGuard guard;
+  const EmpiricalDistribution g(continuous_samples(8, 1500));
+  const AttackModel attack = linear_attack_sweep(80.0, 64);
+  const auto thresholds = candidate_thresholds(g);
+
+  kernels::set_batching_enabled(false);
+  std::vector<double> reference;
+  reference.reserve(thresholds.size());
+  for (double t : thresholds) reference.push_back(attack.mean_fn(g, t));
+
+  kernels::set_batching_enabled(true);
+  for (Backend b : available_backends()) {
+    ASSERT_TRUE(kernels::force_backend(b));
+    std::vector<double> batched(thresholds.size());
+    attack.mean_fn_batch(g, thresholds, batched);
+    EXPECT_EQ(batched, reference) << "mean_fn_batch on " << kernels::backend_name(b);
+  }
+}
+
+TEST(KernelRewire, OptimizingHeuristicsPickTheSameThreshold) {
+  const EmpiricalDistribution g(count_samples(11, 3000));
+  const AttackModel attack = linear_attack_sweep(60.0, 64);
+  const FMeasureHeuristic fmeasure;
+  const UtilityHeuristic utility(0.5);
+  expect_path_identity([&] { return fmeasure.compute(g, &attack); },
+                       "FMeasureHeuristic");
+  expect_path_identity([&] { return utility.compute(g, &attack); },
+                       "UtilityHeuristic");
+}
+
+TEST(KernelRewire, RocCurveIsBitIdentical) {
+  const EmpiricalDistribution g(count_samples(13, 2500));
+  const AttackModel attack = linear_attack_sweep(60.0, 32);
+  expect_path_identity(
+      [&] {
+        std::vector<double> flat;
+        for (const RocPoint& p : roc_curve(g, attack)) {
+          flat.push_back(p.threshold);
+          flat.push_back(p.fp_rate);
+          flat.push_back(p.tp_rate);
+        }
+        return flat;
+      },
+      "roc_curve");
+}
+
+TEST(KernelRewire, NaiveDetectionCurveIsBitIdentical) {
+  std::vector<EmpiricalDistribution> users;
+  std::vector<double> thresholds;
+  for (std::uint64_t u = 0; u < 12; ++u) {
+    users.emplace_back(count_samples(200 + u, 800));
+    thresholds.push_back(users.back().quantile(0.95));
+  }
+  const AttackModel attack = linear_attack_sweep(60.0, 64);
+  expect_path_identity(
+      [&] { return naive_detection_curve(users, thresholds, attack.sizes, 2); },
+      "naive_detection_curve");
+}
+
+TEST(KernelRewire, ReplayOutcomeIsBitIdentical) {
+  util::Xoshiro256 rng(17);
+  std::vector<double> benign(4000), attack(4000);
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    benign[i] = static_cast<double>(rng() % 40);
+    attack[i] = (rng() % 4 == 0) ? static_cast<double>(1 + rng() % 20) : 0.0;
+  }
+  expect_path_identity(
+      [&] {
+        const ReplayOutcome out = evaluate_replay(benign, attack, 30.0);
+        return std::vector<double>{out.fp_rate, out.detection_rate};
+      },
+      "evaluate_replay");
+}
+
+TEST(KernelRewire, JointAlarmRateIsBitIdentical) {
+  features::FeatureMatrix m;
+  util::Xoshiro256 rng(19);
+  for (auto& s : m.series) {
+    s = features::BinnedSeries(util::BinGrid::minutes(15), util::kMicrosPerWeek);
+    for (std::size_t b = 0; b < s.bin_count(); ++b) {
+      s.set(b, static_cast<double>(rng() % 25));
+    }
+  }
+  std::array<double, features::kFeatureCount> thresholds{};
+  for (auto& t : thresholds) t = static_cast<double>(10 + rng() % 10);
+  expect_path_identity(
+      [&] {
+        const JointAlarmOutcome out = joint_alarm_rate(m, 0, thresholds);
+        std::vector<double> flat{out.joint_fp_rate, out.sum_of_marginals};
+        flat.insert(flat.end(), out.per_feature.begin(), out.per_feature.end());
+        return flat;
+      },
+      "joint_alarm_rate");
+}
+
+TEST(KernelRewire, DetectorAlarmCountIsBitIdentical) {
+  util::Xoshiro256 rng(23);
+  std::vector<double> bins(5000);
+  for (double& v : bins) v = static_cast<double>(rng() % 50);
+  const ThresholdDetector det(37.0);
+  expect_path_identity([&] { return det.count_alarms(bins); },
+                       "ThresholdDetector::count_alarms");
+}
+
+}  // namespace
+}  // namespace monohids::hids

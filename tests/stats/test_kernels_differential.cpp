@@ -1,0 +1,220 @@
+// Randomized differential suite for the SIMD kernel layer: every available
+// back-end, forced in-process, must produce bit-identical results to the
+// scalar reference on the same inputs. Ranks and counts are integers, so
+// "bit-identical" here is literal equality — any divergence is a kernel bug,
+// not numerical noise. 500+ seeded cases sweep arena shapes (uniform,
+// heavy-tailed, few-distinct-values/massive ties, empty, single-sample,
+// extreme magnitudes) crossed with sorted and unsorted query batches whose
+// values are deliberately pinned onto arena samples to stress tie handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/kernels.hpp"
+#include "stats/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace monohids::stats {
+namespace {
+
+using kernels::Backend;
+
+constexpr std::uint64_t kCases = 520;
+
+std::vector<Backend> simd_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::Avx2, Backend::Neon}) {
+    if (kernels::backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+/// Draws one arena shape; returns its name for failure messages. Arenas are
+/// returned sorted (the kernels' contract).
+std::string fill_arena(std::uint64_t case_index, util::Xoshiro256& rng,
+                       std::vector<double>& out) {
+  const std::size_t n = case_index % 7 == 0   ? 0
+                        : case_index % 7 == 1 ? 1
+                                              : 1 + rng() % 3000;
+  out.resize(n);
+  std::string name;
+  switch (case_index % 6) {
+    case 0:
+      for (double& v : out) v = rng.uniform01() * 100.0;
+      name = "uniform";
+      break;
+    case 1: {
+      const LogNormalSampler lognormal(0.0, 2.0);
+      for (double& v : out) v = lognormal.sample(rng);
+      name = "lognormal";
+      break;
+    }
+    case 2:
+      // Few distinct values: the tie regime every traffic-count feature
+      // lives in, and the case where upper-bound vs lower-bound confusion
+      // shows up immediately.
+      for (double& v : out) v = static_cast<double>(rng() % 5);
+      name = "five-values";
+      break;
+    case 3:
+      for (double& v : out) v = static_cast<double>(rng() % 200);
+      name = "counts";
+      break;
+    case 4:
+      // Extreme magnitudes: denormal-adjacent and huge values in one arena.
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = (i % 2 == 0) ? rng.uniform01() * 1e-300 : rng.uniform01() * 1e300;
+      }
+      name = "extremes";
+      break;
+    default:
+      out.assign(out.size(), 42.0);
+      name = "constant";
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  return name;
+}
+
+/// Query batch: half fresh random values, half pinned exactly onto arena
+/// samples (ties). Sorted for even cases, shuffled for odd ones.
+std::vector<double> make_queries(const std::vector<double>& arena, std::uint64_t case_index,
+                                 util::Xoshiro256& rng, bool& sorted) {
+  const std::size_t t = 1 + rng() % 300;
+  std::vector<double> xs(t);
+  for (double& q : xs) {
+    if (!arena.empty() && rng() % 2 == 0) {
+      q = arena[rng() % arena.size()];
+    } else {
+      q = (rng.uniform01() - 0.25) * 150.0;
+    }
+  }
+  sorted = case_index % 2 == 0;
+  if (sorted) {
+    std::sort(xs.begin(), xs.end());
+  } else {
+    for (std::size_t i = xs.size(); i > 1; --i) std::swap(xs[i - 1], xs[rng() % i]);
+  }
+  return xs;
+}
+
+TEST(KernelDifferential, AllBackendsBitIdenticalToScalar) {
+  const auto simd = simd_backends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD back-end available on this host";
+  const kernels::Ops& scalar = *kernels::ops_for(Backend::Scalar);
+
+  std::uint64_t executed = 0;
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    util::Xoshiro256 rng(0x5eed0000 + c);
+    std::vector<double> arena;
+    const std::string arena_name = fill_arena(c, rng, arena);
+    bool sorted = false;
+    const std::vector<double> xs = make_queries(arena, c, rng, sorted);
+    // Zero shift on every third case keeps the pinned queries exactly tied
+    // to arena samples (nonzero shifts would perturb them off the ties).
+    const double shift = (c % 3 == 0) ? 0.0 : (rng.uniform01() - 0.5) * 10.0;
+    const std::string label =
+        "case " + std::to_string(c) + " (" + arena_name + ", n=" +
+        std::to_string(arena.size()) + ", t=" + std::to_string(xs.size()) +
+        (sorted ? ", sorted)" : ", unsorted)");
+
+    // Scalar reference answers.
+    std::vector<std::uint32_t> ref(xs.size());
+    if (sorted) {
+      scalar.rank_sorted(arena, xs, shift, ref.data());
+    } else {
+      scalar.rank_unsorted(arena, xs, shift, ref.data());
+    }
+    const double threshold = xs[c % xs.size()];
+    const std::uint64_t ref_exceed = scalar.count_exceed(xs, threshold);
+
+    // Grid reference (sorted query batches double as ascending thresholds).
+    std::vector<double> sizes(1 + rng() % 40);
+    for (double& s : sizes) s = rng.uniform01() * 20.0;
+    std::vector<std::uint32_t> ref_grid;
+    if (sorted) {
+      ref_grid.resize(xs.size() * sizes.size());
+      scalar.rank_grid(arena, xs, sizes, ref_grid.data());
+    }
+
+    for (Backend b : simd) {
+      const kernels::Ops& ops = *kernels::ops_for(b);
+      std::vector<std::uint32_t> got(xs.size(), 0xffffffffu);
+      if (sorted) {
+        ops.rank_sorted(arena, xs, shift, got.data());
+      } else {
+        ops.rank_unsorted(arena, xs, shift, got.data());
+      }
+      ASSERT_EQ(got, ref) << label << " on " << kernels::backend_name(b);
+      ASSERT_EQ(ops.count_exceed(xs, threshold), ref_exceed)
+          << label << " count_exceed on " << kernels::backend_name(b);
+      if (sorted) {
+        std::vector<std::uint32_t> grid(ref_grid.size(), 0xffffffffu);
+        ops.rank_grid(arena, xs, sizes, grid.data());
+        ASSERT_EQ(grid, ref_grid) << label << " rank_grid on "
+                                  << kernels::backend_name(b);
+      }
+    }
+    ++executed;
+  }
+  EXPECT_GE(executed, 500u);
+}
+
+TEST(KernelDifferential, ReplayAndJointKernelsBitIdenticalToScalar) {
+  const auto simd = simd_backends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD back-end available on this host";
+  const kernels::Ops& scalar = *kernels::ops_for(Backend::Scalar);
+
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    util::Xoshiro256 rng(0xab5eed + c);
+    const std::size_t bins = 1 + rng() % 2000;
+    std::vector<double> benign(bins), attack(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+      benign[i] = static_cast<double>(rng() % 30);
+      attack[i] = (rng() % 3 == 0) ? static_cast<double>(rng() % 10) : 0.0;
+    }
+    const double threshold = static_cast<double>(rng() % 25);
+
+    std::uint64_t ref_ba = 0, ref_ab = 0, ref_d = 0;
+    scalar.replay_detect(benign, attack, threshold, ref_ba, ref_ab, ref_d);
+
+    constexpr std::size_t kFeatures = 4;
+    std::vector<std::vector<double>> series(kFeatures);
+    std::vector<std::span<const double>> slices;
+    std::vector<double> thresholds;
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      series[f].resize(bins);
+      for (double& v : series[f]) v = static_cast<double>(rng() % 20);
+      slices.push_back(series[f]);
+      thresholds.push_back(static_cast<double>(rng() % 15));
+    }
+    std::vector<std::uint64_t> ref_marginal(kFeatures, 0);
+    std::uint64_t ref_joint = 0;
+    scalar.joint_exceed(slices.data(), thresholds.data(), kFeatures, bins,
+                        ref_marginal.data(), ref_joint);
+
+    for (Backend b : simd) {
+      const kernels::Ops& ops = *kernels::ops_for(b);
+      std::uint64_t ba = 99, ab = 99, d = 99;
+      ops.replay_detect(benign, attack, threshold, ba, ab, d);
+      ASSERT_EQ(ba, ref_ba) << "case " << c << " on " << kernels::backend_name(b);
+      ASSERT_EQ(ab, ref_ab) << "case " << c << " on " << kernels::backend_name(b);
+      ASSERT_EQ(d, ref_d) << "case " << c << " on " << kernels::backend_name(b);
+
+      std::vector<std::uint64_t> marginal(kFeatures, 99);
+      std::uint64_t joint = 99;
+      ops.joint_exceed(slices.data(), thresholds.data(), kFeatures, bins,
+                       marginal.data(), joint);
+      ASSERT_EQ(marginal, ref_marginal) << "case " << c << " on "
+                                        << kernels::backend_name(b);
+      ASSERT_EQ(joint, ref_joint) << "case " << c << " on " << kernels::backend_name(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monohids::stats
