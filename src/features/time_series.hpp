@@ -51,6 +51,10 @@ class BinnedSeries {
 
   [[nodiscard]] std::span<const double> values() const noexcept { return counts_; }
 
+  /// Mutable bin storage for bulk writers (the batched trace generator
+  /// widens SoA staging buffers straight into it). Same layout as values().
+  [[nodiscard]] std::span<double> values_mut() noexcept { return counts_; }
+
   /// Bins overlapping week `w` (empty if the week is past the horizon).
   [[nodiscard]] std::span<const double> week_slice(std::uint32_t week) const;
 

@@ -81,6 +81,13 @@ struct Ops {
   void (*joint_exceed)(const std::span<const double>* slices, const double* thresholds,
                        std::size_t feature_count, std::size_t bins,
                        std::uint64_t* marginal, std::uint64_t& joint);
+
+  /// out[i] = (double)values[i]: widens an SoA staging buffer of integer
+  /// tallies (the batched trace generator's per-bin counts) into a feature
+  /// series. Values must be < 2^31 (per-bin traffic tallies always are);
+  /// within that range the conversion is exact in every back-end, so the
+  /// widened series is bit-identical across Scalar/AVX2/NEON.
+  void (*widen_u32)(std::span<const std::uint32_t> values, double* out);
 };
 
 /// The dispatched table: resolved once on first use from runtime CPU

@@ -251,6 +251,19 @@ void joint_exceed_avx2(const std::span<const double>* slices, const double* thre
   joint = any_count;
 }
 
+void widen_u32_avx2(std::span<const std::uint32_t> values, double* out) {
+  // Staging tallies are < 2^31 (the op's contract), so the signed 32->64
+  // float convert is the exact unsigned conversion.
+  const std::uint32_t* v = values.data();
+  const std::size_t n = values.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i lanes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    _mm256_storeu_pd(out + i, _mm256_cvtepi32_pd(lanes));
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(v[i]);
+}
+
 }  // namespace
 
 namespace detail {
@@ -258,7 +271,7 @@ namespace detail {
 const Ops* avx2_ops() noexcept {
   static const Ops ops = {
       "avx2",            rank_sorted_avx2,  rank_unsorted_avx2, rank_grid_avx2,
-      count_exceed_avx2, replay_detect_avx2, joint_exceed_avx2,
+      count_exceed_avx2, replay_detect_avx2, joint_exceed_avx2, widen_u32_avx2,
   };
   return &ops;
 }

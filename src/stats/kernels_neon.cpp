@@ -233,6 +233,19 @@ void joint_exceed_neon(const std::span<const double>* slices, const double* thre
   joint = any_count;
 }
 
+void widen_u32_neon(std::span<const std::uint32_t> values, double* out) {
+  // u32 -> u64 widen, then the exact u64 -> f64 convert (every u32 fits the
+  // 53-bit mantissa, so no rounding in either step).
+  const std::uint32_t* v = values.data();
+  const std::size_t n = values.size();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32x2_t narrow = vld1_u32(v + i);
+    vst1q_f64(out + i, vcvtq_f64_u64(vmovl_u32(narrow)));
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(v[i]);
+}
+
 }  // namespace
 
 namespace detail {
@@ -240,7 +253,7 @@ namespace detail {
 const Ops* neon_ops() noexcept {
   static const Ops ops = {
       "neon",            rank_sorted_neon,  rank_unsorted_neon, rank_grid_neon,
-      count_exceed_neon, replay_detect_neon, joint_exceed_neon,
+      count_exceed_neon, replay_detect_neon, joint_exceed_neon, widen_u32_neon,
   };
   return &ops;
 }

@@ -91,6 +91,12 @@ void joint_exceed_scalar(const std::span<const double>* slices, const double* th
   joint = any_count;
 }
 
+void widen_u32_scalar(std::span<const std::uint32_t> values, double* out) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<double>(values[i]);
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -98,7 +104,7 @@ namespace detail {
 const Ops* scalar_ops() noexcept {
   static const Ops ops = {
       "scalar",           rank_sorted_scalar,  rank_unsorted_scalar, rank_grid_scalar,
-      count_exceed_scalar, replay_detect_scalar, joint_exceed_scalar,
+      count_exceed_scalar, replay_detect_scalar, joint_exceed_scalar, widen_u32_scalar,
   };
   return &ops;
 }

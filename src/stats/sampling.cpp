@@ -1,5 +1,6 @@
 #include "stats/sampling.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -93,6 +94,95 @@ std::uint64_t sample_poisson(util::Xoshiro256& rng, double mean) {
   const double v = mean + std::sqrt(mean) * z + 0.5;
   return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
 }
+
+namespace batch {
+
+std::uint64_t bernoulli_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return std::uint64_t{1} << 53;
+  // Ceil estimate, then fix up: p * 2^53 can round either way, but the
+  // exact boundary is within one ulp of it, so a couple of compares of
+  // exact to_unit values land the true threshold.
+  std::uint64_t t = static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+  while (t > 0 && to_unit(t - 1) >= p) --t;
+  while (t < (std::uint64_t{1} << 53) && to_unit(t) < p) ++t;
+  return t;
+}
+
+void prepare_poisson_rows(std::span<const double> means, std::span<PoissonRow> rows) {
+  MONOHIDS_EXPECT(rows.size() >= means.size(), "prepared rows span too small");
+  double prev_mean = -1.0, prev_limit = 0.0;
+  std::uint64_t prev_threshold = 0;
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    const double mean = means[i];
+    MONOHIDS_EXPECT(mean >= 0.0, "Poisson mean must be non-negative");
+    PoissonRow& row = rows[i];
+    row.mean = mean;
+    if (mean == 0.0 || mean >= 30.0) continue;  // limit/threshold unused
+    if (mean != prev_mean) {
+      prev_mean = mean;
+      prev_limit = std::exp(-mean);
+      prev_threshold = knuth_zero_threshold(prev_limit);
+    }
+    row.limit = prev_limit;
+    row.zero_threshold = prev_threshold;
+  }
+}
+
+void sample_uniform01_batch(util::Xoshiro256& rng, std::span<double> out) {
+  for (double& v : out) v = rng.uniform01();
+}
+
+void sample_exponential_batch(util::Xoshiro256& rng, double rate, std::span<double> out) {
+  MONOHIDS_EXPECT(rate > 0.0, "exponential rate must be positive");
+  for (double& v : out) {
+    double u = rng.uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    v = -std::log(u) / rate;
+  }
+}
+
+namespace {
+
+/// The direct (pow-based) Pareto count the table must reproduce exactly.
+std::uint32_t pareto_count_direct(double u, double inv_shape, std::uint32_t cap) {
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double v = 1.0 / std::pow(u, inv_shape);
+  return static_cast<std::uint32_t>(std::min<double>(v, static_cast<double>(cap)));
+}
+
+}  // namespace
+
+ParetoCountTable::ParetoCountTable(double shape, std::uint32_t cap) : cap_(cap) {
+  MONOHIDS_EXPECT(shape > 0.0, "Pareto shape must be positive");
+  MONOHIDS_EXPECT(cap >= 1, "Pareto count cap must be at least 1");
+  const double inv_shape = 1.0 / shape;
+  boundary_.resize(cap - 1);
+  for (std::uint32_t k = 1; k < cap; ++k) {
+    // Largest m with count >= k + 1; count is non-increasing in m and
+    // count(0) = cap (the word 0 is guarded up to 2^-53), so the invariant
+    // holds at lo = 0.
+    std::uint64_t lo = 0, hi = (std::uint64_t{1} << 53) - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+      if (pareto_count_direct(to_unit(mid), inv_shape, cap) >= k + 1) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    boundary_[k - 1] = lo;
+    // The boundary must be exact — both sides of it — or table counts
+    // silently diverge from the pow path for rare draws.
+    MONOHIDS_ENSURE(pareto_count_direct(to_unit(lo), inv_shape, cap) >= k + 1,
+                    "Pareto boundary below its own count");
+    MONOHIDS_ENSURE(lo + 1 >= (std::uint64_t{1} << 53) ||
+                        pareto_count_direct(to_unit(lo + 1), inv_shape, cap) < k + 1,
+                    "Pareto boundary not tight");
+  }
+}
+
+}  // namespace batch
 
 std::uint64_t sample_uniform_int(util::Xoshiro256& rng, std::uint64_t lo, std::uint64_t hi) {
   MONOHIDS_EXPECT(lo <= hi, "uniform-int range is inverted");

@@ -6,7 +6,10 @@
 // traffic tails. All samplers draw from our deterministic Xoshiro256 engine.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <numbers>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -66,5 +69,147 @@ class ZipfSampler {
 /// Uniform integer in [lo, hi] inclusive.
 [[nodiscard]] std::uint64_t sample_uniform_int(util::Xoshiro256& rng, std::uint64_t lo,
                                                std::uint64_t hi);
+
+// ---------------------------------------------------------------------------
+// Batch sampling API.
+//
+// The trace generator's inner loop issues hundreds of millions of draws per
+// scenario, almost all of them Poisson counts whose mean repeats across long
+// runs of bins (night floors, weekly periodicity). This API splits each
+// sampler into a preparation step (the libm work: exp, threshold
+// derivation — batchable, dedupable, hoistable out of the RNG loop) and a
+// per-draw step that is pure integer/multiply arithmetic.
+//
+// Draw-order contract: every batch::* sampler consumes draws from the
+// engine in EXACTLY the order and count of its per-call counterpart
+// (sample_poisson, uniform01, sample_exponential), so interleaved streams
+// stay bit-identical no matter which side prepared its parameters. The
+// integer thresholds below make the common branches exact: u = (x >> 11) *
+// 2^-53 maps the engine word x to a double, and because m * 2^-53 is exact
+// for any 53-bit m, comparisons of u against a precomputed double reduce to
+// exact integer compares of m against a precomputed threshold.
+
+namespace batch {
+
+/// The double the engine derives from a raw draw word: (x >> 11) * 2^-53.
+/// Exact (the 53-bit mantissa fits), which is what makes the integer
+/// thresholds below bit-faithful.
+[[nodiscard]] inline double to_unit(std::uint64_t m) noexcept {
+  return static_cast<double>(m) * 0x1.0p-53;
+}
+
+/// Smallest m with to_unit(m) > limit, i.e. Knuth inversion returns 0 for
+/// mean -ln(limit) iff the first draw word (>> 11) is below this. limit *
+/// 2^53 is an exact power-of-two scaling, so floor(limit * 2^53) + 1 is
+/// exact — no fixup loop needed.
+[[nodiscard]] inline std::uint64_t knuth_zero_threshold(double limit) noexcept {
+  if (limit >= 1.0) return (std::uint64_t{1} << 53) + 1;
+  if (limit <= 0.0) return 1;  // only m = 0 fails to_unit(m) > 0
+  return static_cast<std::uint64_t>(limit * 0x1.0p53) + 1;
+}
+
+/// Threshold T with (to_unit(m) < p) == (m < T): turns a uniform01
+/// Bernoulli test into one integer compare. Computed with a ceil estimate
+/// plus an exactness fixup (p * 2^53 itself may round).
+[[nodiscard]] std::uint64_t bernoulli_threshold(double p) noexcept;
+
+/// Prepared per-mean Poisson parameters. For mean < 30 (Knuth inversion)
+/// `limit` is exp(-mean) and `zero_threshold` its integer form; for the
+/// normal-approximation regime both are unused.
+struct PoissonRow {
+  double mean = 0.0;
+  double limit = 0.0;
+  std::uint64_t zero_threshold = 0;
+};
+
+/// Fills rows[i] from means[i]. Consecutive equal means share one exp()
+/// call — on diurnal rate tables (night floors, weekend plateaus) this
+/// collapses most of the libm cost. Consumes no draws.
+void prepare_poisson_rows(std::span<const double> means, std::span<PoissonRow> rows);
+
+/// Draws one Poisson count from a prepared row. Bit-identical to
+/// sample_poisson(rng, row.mean): same regimes (0 draws for mean 0, Knuth
+/// inversion below 30, Box–Muller normal approximation above), same draw
+/// count, same results. Forced inline: the caller's loop keeps the engine
+/// state in registers only if no call boundary makes its address escape.
+[[gnu::always_inline]] inline std::uint64_t sample_poisson_prepared(
+    util::Xoshiro256& rng, const PoissonRow& row) {
+  if (row.mean == 0.0) return 0;
+  if (row.mean < 30.0) [[likely]] {
+    // Knuth inversion with the zero-count case (the overwhelmingly common
+    // one on diurnal rate tables) decided by a single integer compare.
+    const std::uint64_t m1 = rng() >> 11;
+    if (m1 < row.zero_threshold) return 0;
+    double product = to_unit(m1);
+    std::uint64_t k = 0;
+    do {
+      product *= rng.uniform01();
+      ++k;
+    } while (product > row.limit);
+    return k;
+  }
+  // Normal approximation, inlined so the engine's address never escapes
+  // (an out-of-line call here forces the RNG state to memory in the hot
+  // caller). Mirrors sample_standard_normal + the sample_poisson epilogue.
+  double u1 = rng.uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  const double v = row.mean + std::sqrt(row.mean) * z + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+/// out[i] = rng.uniform01(), in order — the batched form of the arrival
+/// draws (one per session) in the packet walk.
+void sample_uniform01_batch(util::Xoshiro256& rng, std::span<double> out);
+
+/// out[i] = sample_exponential(rng, rate), in order.
+void sample_exponential_batch(util::Xoshiro256& rng, double rate, std::span<double> out);
+
+/// Exact integer-threshold table for a capped, floored Pareto count:
+/// count(u) = min(floor(1 / u^(1/shape)), cap) with u guarded to 2^-53 —
+/// the apps.cpp pareto_count draw. boundary[k-1] holds the largest draw
+/// word m with count(to_unit(m)) >= k + 1, so a count is recovered from a
+/// raw word with integer compares only (no pow). Boundaries are found once
+/// by binary search over the 2^53 word space and verified exact.
+class ParetoCountTable {
+ public:
+  ParetoCountTable(double shape, std::uint32_t cap);
+
+  /// Count for draw word m (= engine() >> 11). Descending boundary scan;
+  /// expected ~1-2 probes for shape > 1.5.
+  [[nodiscard]] std::uint32_t count(std::uint64_t m) const noexcept {
+    std::uint32_t k = 1;
+    while (k < cap_ && m <= boundary_[k - 1]) ++k;
+    return k;
+  }
+
+  /// Branchless over the first three boundaries (covers ~98% of draws for
+  /// shape >= 1.5); falls back to the scan for the tail.
+  [[nodiscard]] std::uint32_t count_fast(std::uint64_t m) const noexcept {
+    if (cap_ >= 4) [[likely]] {
+      if (m > boundary_[2]) [[likely]]
+        return 1 + (m <= boundary_[0] ? 1u : 0u) + (m <= boundary_[1] ? 1u : 0u);
+      std::uint32_t k = 4;
+      while (k < cap_ && m <= boundary_[k - 1]) ++k;
+      return k;
+    }
+    return count(m);
+  }
+
+  [[nodiscard]] std::uint32_t cap() const noexcept { return cap_; }
+
+  /// Raw boundary word for count k+1 (callers hoist the first few into
+  /// locals to keep a staging loop's compares register-resident).
+  [[nodiscard]] std::uint64_t boundary(std::size_t k) const noexcept {
+    return boundary_[k];
+  }
+
+ private:
+  std::vector<std::uint64_t> boundary_;  // descending in k
+  std::uint32_t cap_;
+};
+
+}  // namespace batch
 
 }  // namespace monohids::stats

@@ -26,7 +26,17 @@ double activity_at(const DiurnalProfile& profile, util::Timestamp t) noexcept {
   const double evening = profile.evening_level * bump(hour, 20.5, 3.0);
   double level = profile.night_floor + std::max(work, evening);
 
-  if (util::is_weekend(t)) level *= profile.weekend_factor;
+  // The phase shift translates the user's whole week, weekend included: a
+  // night owl's Friday evening (already past wall-clock midnight) must not
+  // be weekend-damped. Evaluate the weekend predicate on the same shifted
+  // clock as the daily curve. One week is added before subtracting so a
+  // positive shift cannot underflow the unsigned timestamp; day-of-week is
+  // week-periodic, so the added week never changes the answer.
+  const util::Timestamp shifted =
+      t + util::kMicrosPerWeek -
+      static_cast<util::Timestamp>(
+          std::llround(profile.phase_hours * static_cast<double>(util::kMicrosPerHour)));
+  if (util::is_weekend(shifted)) level *= profile.weekend_factor;
   return level;
 }
 

@@ -21,7 +21,10 @@ struct DiurnalProfile {
 };
 
 /// Activity multiplier at time `t` for the given profile. Continuous in t,
-/// periodic over the week.
+/// periodic over the week, and a pure time translation of the phase-0 curve:
+/// activity_at(profile with phase p, t) == activity_at(same profile with
+/// phase 0, t - p hours) — the weekend damping follows the shifted clock
+/// along with the daily bumps.
 [[nodiscard]] double activity_at(const DiurnalProfile& profile, util::Timestamp t) noexcept;
 
 }  // namespace monohids::trace

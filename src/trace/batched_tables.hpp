@@ -1,0 +1,71 @@
+// Precomputed draw tables for the batched generation pipeline.
+//
+// Every footprint draw in apps.cpp bottoms out in one of three shapes: a
+// capped Pareto count (pow), a small-mean Poisson count (exp + product
+// chain) or a Bernoulli test against a fixed probability. All of their
+// libm-dependent constants are fixed by the model, so they are computed
+// once per process and reduced to exact integer thresholds on the raw
+// engine words (see stats/sampling.hpp's batch API for the exactness
+// argument). The batched bin loop then contains no libm calls at all.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stats/sampling.hpp"
+
+namespace monohids::trace::detail {
+
+struct FootprintTables {
+  // Capped Pareto counts: web page objects, P2P peers, update fetches.
+  stats::batch::ParetoCountTable web_objects{2.6, 40};
+  stats::batch::ParetoCountTable p2p_peers{1.55, 600};
+  stats::batch::ParetoCountTable update_fetches{2.1, 100};
+
+  // Web per-page domain count: 1 + Poisson(min(objects, 12) / 5), one row
+  // per possible object count.
+  double web_domain_limit[41];
+  std::uint64_t web_domain_threshold[41];
+
+  // Background DNS burst: 1 + Poisson(0.6).
+  double dns_limit;
+  std::uint64_t dns_threshold;
+
+  // Update SYN retransmissions: Poisson(fetches * 0.02), fetches in 5..104.
+  double update_syn_limit[105];
+  std::uint64_t update_syn_threshold[105];
+
+  // Bernoulli thresholds: HTTPS share, SYN retransmission, mail DNS
+  // refresh, interactive DNS refresh.
+  std::uint64_t https_045;
+  std::uint64_t syn_retrans_003;
+  std::uint64_t mail_dns_020;
+  std::uint64_t interactive_dns_030;
+
+  FootprintTables() {
+    using stats::batch::bernoulli_threshold;
+    using stats::batch::knuth_zero_threshold;
+    for (std::uint32_t objects = 1; objects <= 40; ++objects) {
+      web_domain_limit[objects] =
+          std::exp(-(std::min<double>(objects, 12.0) / 5.0));
+      web_domain_threshold[objects] = knuth_zero_threshold(web_domain_limit[objects]);
+    }
+    dns_limit = std::exp(-0.6);
+    dns_threshold = knuth_zero_threshold(dns_limit);
+    for (std::uint32_t fetches = 5; fetches <= 104; ++fetches) {
+      update_syn_limit[fetches] = std::exp(-(static_cast<double>(fetches) * 0.02));
+      update_syn_threshold[fetches] = knuth_zero_threshold(update_syn_limit[fetches]);
+    }
+    https_045 = bernoulli_threshold(0.45);
+    syn_retrans_003 = bernoulli_threshold(0.03);
+    mail_dns_020 = bernoulli_threshold(0.2);
+    interactive_dns_030 = bernoulli_threshold(0.3);
+  }
+};
+
+/// The process-wide table set (immutable after construction, so sharing
+/// across generator threads is free).
+[[nodiscard]] const FootprintTables& footprint_tables();
+
+}  // namespace monohids::trace::detail

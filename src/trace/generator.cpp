@@ -1,52 +1,34 @@
 #include "trace/generator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "stats/sampling.hpp"
+#include "trace/episode_process.hpp"
 #include "util/error.hpp"
 
 namespace monohids::trace {
 
 using util::Timestamp;
 
+namespace {
+std::atomic<bool> g_batched_generation{true};
+}  // namespace
+
+bool batched_generation_enabled() noexcept {
+  return g_batched_generation.load(std::memory_order_relaxed);
+}
+
+void set_batched_generation_enabled(bool enabled) noexcept {
+  g_batched_generation.store(enabled, std::memory_order_relaxed);
+}
+
 TraceGenerator::TraceGenerator(GeneratorConfig config) : config_(config) {
   MONOHIDS_EXPECT(config_.weeks > 0, "generator horizon must cover at least one week");
 }
-
-/// Episodes are rare bursty periods (a crawl, a large sync) during which all
-/// session rates are multiplied by a sampled factor. The process is stepped
-/// bin by bin with identical draws in both render paths, so packet- and
-/// bin-level traffic share their bursts.
-class TraceGenerator::EpisodeProcess {
- public:
-  EpisodeProcess(const UserProfile& user, double log_mu, std::uint64_t seed)
-      : user_(&user), log_mu_(log_mu), rng_(seed) {}
-
-  /// Multiplier in effect for the bin starting at `bin_start`.
-  double step(Timestamp bin_start, double bin_hours, double activity) {
-    if (bin_start >= episode_end_) multiplier_ = 1.0;
-    const double start_probability =
-        std::min(1.0, user_->episode_rate_per_hour * activity * bin_hours);
-    if (multiplier_ == 1.0 && rng_.uniform01() < start_probability) {
-      const stats::LogNormalSampler boost(log_mu_, user_->episode_log_sigma);
-      multiplier_ =
-          1.0 + std::min(boost.sample(rng_), 6.0) * user_->episode_amplitude;
-      const double minutes =
-          stats::sample_exponential(rng_, 1.0 / user_->episode_mean_minutes);
-      episode_end_ = bin_start + util::from_seconds(minutes * 60.0);
-    }
-    return multiplier_;
-  }
-
- private:
-  const UserProfile* user_;
-  double log_mu_;
-  util::Xoshiro256 rng_;
-  double multiplier_ = 1.0;
-  Timestamp episode_end_ = 0;
-};
 
 DestinationPools TraceGenerator::make_pools(const UserProfile& user) const {
   DestinationPools pools;
@@ -74,6 +56,12 @@ DestinationPools TraceGenerator::make_pools(const UserProfile& user) const {
 }
 
 features::FeatureMatrix TraceGenerator::generate_features(const UserProfile& user) const {
+  if (batched_generation_enabled()) return generate_features_batched(user);
+  return generate_features_reference(user);
+}
+
+features::FeatureMatrix TraceGenerator::generate_features_reference(
+    const UserProfile& user) const {
   const util::BinGrid grid = config_.grid;
   const util::Duration horizon = config_.horizon();
   features::FeatureMatrix matrix;
@@ -231,6 +219,15 @@ void TraceGenerator::generate_packets_streamed(const UserProfile& user, Timestam
   std::vector<net::PacketRecord> ready;    // sorted finals awaiting emission
   std::vector<net::PacketRecord> stage;    // staged batch for the sink
 
+  // Batch-granular instrumentation: local tallies published once per user
+  // walk, so the per-packet path carries no atomics (obs cost model).
+  static obs::Counter packets_streamed =
+      obs::MetricsRegistry::global().counter("tracegen.packets_streamed");
+  static obs::Histogram reorder_occupancy = obs::MetricsRegistry::global().histogram(
+      "tracegen.reorder_window_packets", obs::pow2_buckets(20));
+  std::uint64_t staged_total = 0;
+  std::size_t peak_pending = 0;
+
   const auto emit_full_batches = [&](bool emit_tail) {
     std::size_t offset = 0;
     while (stage.size() - offset >= max_batch) {
@@ -249,6 +246,7 @@ void TraceGenerator::generate_packets_streamed(const UserProfile& user, Timestam
     // partition splits on timestamp alone, so equal-timestamp ties always
     // stay in one flush group and the per-group total-order sort reproduces
     // the batch path's global sort exactly.
+    peak_pending = std::max(peak_pending, pending.size());
     const auto keep = std::partition(pending.begin(), pending.end(),
                                      [watermark](const net::PacketRecord& p) {
                                        return p.timestamp >= watermark;
@@ -260,6 +258,7 @@ void TraceGenerator::generate_packets_streamed(const UserProfile& user, Timestam
     for (const net::PacketRecord& p : ready) {
       if (p.timestamp < begin || p.timestamp >= end) continue;  // window clip
       stage.push_back(p);
+      ++staged_total;
     }
     emit_full_batches(false);
   };
@@ -268,6 +267,9 @@ void TraceGenerator::generate_packets_streamed(const UserProfile& user, Timestam
   // Everything left is final; `end` as watermark clips the spill past it.
   flush_watermark(std::numeric_limits<Timestamp>::max());
   emit_full_batches(true);
+
+  packets_streamed.add(staged_total);
+  reorder_occupancy.observe(static_cast<double>(peak_pending));
 }
 
 }  // namespace monohids::trace

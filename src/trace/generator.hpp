@@ -37,9 +37,39 @@ struct GeneratorConfig {
   /// effective pool is smaller than the nominal one).
   double distinct_pool_factor = 0.6;
 
+  /// Rendered horizon, rounded UP to a whole number of bins. The feature
+  /// path always renders bin_count(horizon) full bins; before this was
+  /// bin-aligned, a non-divisible grid (e.g. 13-minute bins) made the
+  /// feature path render the final partial bin in full while the packet
+  /// path clipped at weeks*week — the two paths covered different ranges.
+  /// For the default grids (15- or 5-minute bins divide a week) this is
+  /// exactly weeks * kMicrosPerWeek.
   [[nodiscard]] util::Duration horizon() const noexcept {
-    return weeks * util::kMicrosPerWeek;
+    const util::Duration raw = weeks * util::kMicrosPerWeek;
+    const util::Duration width = grid.width();
+    return (raw + width - 1) / width * width;
   }
+};
+
+/// Global toggle between the batched feature-generation pipeline (default)
+/// and the preserved seed per-bin path. Outputs are bit-identical by
+/// contract; the toggle exists so benches and the differential suite can
+/// A/B the two implementations (mirrors stats::kernels::batching_enabled).
+[[nodiscard]] bool batched_generation_enabled() noexcept;
+void set_batched_generation_enabled(bool enabled) noexcept;
+
+/// RAII generation-mode toggle for benches/tests.
+class ScopedGenerationMode {
+ public:
+  explicit ScopedGenerationMode(bool batched) : previous_(batched_generation_enabled()) {
+    set_batched_generation_enabled(batched);
+  }
+  ~ScopedGenerationMode() { set_batched_generation_enabled(previous_); }
+  ScopedGenerationMode(const ScopedGenerationMode&) = delete;
+  ScopedGenerationMode& operator=(const ScopedGenerationMode&) = delete;
+
+ private:
+  bool previous_;
 };
 
 class TraceGenerator {
@@ -49,7 +79,17 @@ class TraceGenerator {
   [[nodiscard]] const GeneratorConfig& config() const noexcept { return config_; }
 
   /// Fast path: the user's six binned feature series over the full horizon.
+  /// Dispatches to the batched pipeline (precomputed rate tables, prepared
+  /// Poisson rows, SoA staging) unless batched_generation_enabled() is off;
+  /// both implementations are bit-identical draw for draw.
   [[nodiscard]] features::FeatureMatrix generate_features(const UserProfile& user) const;
+
+  /// The preserved seed implementation of generate_features: one
+  /// activity/episode/poisson/footprint round-trip per (bin, app). Kept as
+  /// the reference side of the differential suite and the A side of
+  /// bench/micro_scenario.
+  [[nodiscard]] features::FeatureMatrix generate_features_reference(
+      const UserProfile& user) const;
 
   /// Full path: time-sorted packets for [begin, end). `begin`/`end` must lie
   /// within the horizon, begin < end. Ordering is the total order of
@@ -76,8 +116,10 @@ class TraceGenerator {
   [[nodiscard]] DestinationPools make_pools(const UserProfile& user) const;
 
  private:
-  /// Burst-episode state machine shared by both paths.
-  class EpisodeProcess;
+  /// Batched implementation of generate_features; defined in
+  /// batched_generator.cpp.
+  [[nodiscard]] features::FeatureMatrix generate_features_batched(
+      const UserProfile& user) const;
 
   /// Shared bin-walk behind both packet paths: appends rendered session
   /// packets to `pending` and invokes `on_rendered_bin(bin_start)` before

@@ -25,18 +25,6 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   // four consecutive zeros from any seed, so no further check is needed.
 }
 
-Xoshiro256::result_type Xoshiro256::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
 void Xoshiro256::jump() noexcept {
   static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
                                             0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};

@@ -49,7 +49,19 @@ class Xoshiro256 {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 
-  result_type operator()() noexcept;
+  // Defined inline: trace synthesis draws from this engine ~200M times per
+  // scenario, so the step must not be an out-of-line call.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Advances the state by 2^128 steps; gives 2^128 non-overlapping
   /// subsequences for parallel streams.
@@ -61,6 +73,10 @@ class Xoshiro256 {
   }
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
 };
 

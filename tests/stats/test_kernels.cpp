@@ -14,6 +14,7 @@
 #include "stats/empirical.hpp"
 #include "stats/kernels.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace monohids::stats {
 namespace {
@@ -378,6 +379,30 @@ TEST(KernelRankTable, EmpiricalDistributionBuildsAndUsesTable) {
   kernels::set_batching_enabled(false);
   const EmpiricalDistribution seed{std::vector<double>(samples)};
   EXPECT_TRUE(seed.rank_table().empty());
+}
+
+TEST(KernelWiden, WidenU32IsExactOnEveryBackend) {
+  // widen_u32 feeds the batched trace generator's SoA staging buffers into
+  // feature series; it must be an exact conversion on every back-end
+  // (values < 2^31 always fit the 53-bit mantissa) including awkward tails.
+  util::Xoshiro256 rng(7);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{17}, std::size_t{1024}, std::size_t{1031}}) {
+    std::vector<std::uint32_t> values(n);
+    for (auto& v : values) v = static_cast<std::uint32_t>(rng() >> 33);  // < 2^31
+    if (n > 2) {
+      values[0] = 0;
+      values[1] = (1u << 31) - 1;
+    }
+    for (Backend b : available_backends()) {
+      std::vector<double> out(n, -1.0);
+      kernels::ops_for(b)->widen_u32(values, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], static_cast<double>(values[i]))
+            << kernels::backend_name(b) << " i=" << i;
+      }
+    }
+  }
 }
 
 TEST(KernelRankTable, ViewBuildsTableOnlyWhenRequested) {

@@ -64,6 +64,39 @@ TEST(Activity, WeeklyPeriodicity) {
   }
 }
 
+TEST(Activity, PhaseShiftIsTimeTranslation) {
+  // The whole curve — weekend damping included — must be a pure time
+  // translation of the phase-0 curve. Before the weekend clock followed the
+  // phase shift, a night owl's Friday evening was damped as soon as the
+  // unshifted wall clock crossed into Saturday, breaking this identity at
+  // the weekend edges.
+  const DiurnalProfile base;
+  for (double phase : {-3.0, -1.5, 2.0, 3.0}) {
+    DiurnalProfile shifted = base;
+    shifted.phase_hours = phase;
+    const auto offset = static_cast<util::Timestamp>(phase * kMicrosPerHour);
+    for (double hour = 0.0; hour < 7.0 * 24.0; hour += 0.25) {
+      const util::Timestamp t = util::kMicrosPerWeek + at(0, hour);
+      ASSERT_NEAR(activity_at(shifted, t), activity_at(base, t - offset), 1e-9)
+          << "phase " << phase << " hour " << hour;
+    }
+  }
+}
+
+TEST(Activity, WeekendEdgeFollowsShiftedClockAcrossMidnight) {
+  DiurnalProfile owl;
+  owl.phase_hours = 2.0;
+  const DiurnalProfile base;
+  // Saturday 00:30 on the wall clock is Friday 22:30 on the owl's shifted
+  // clock — still a weekday, so no weekend damping yet.
+  EXPECT_NEAR(activity_at(owl, at(5, 0.5)), activity_at(base, at(4, 22.5)), 1e-9);
+  // The owl's weekend starts two hours late (Saturday 02:00 wall clock)...
+  EXPECT_NEAR(activity_at(owl, at(5, 2.5)), activity_at(base, at(5, 0.5)), 1e-9);
+  // ...and ends two hours late: Monday 01:00 wall clock is still the owl's
+  // Sunday 23:00, damped.
+  EXPECT_NEAR(activity_at(owl, at(7, 1.0)), activity_at(base, at(6, 23.0)), 1e-9);
+}
+
 TEST(Activity, BoundedAboveByWorkPlusFloor) {
   DiurnalProfile p;
   p.work_level = 1.2;
