@@ -21,6 +21,7 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/rss.hpp"
 #include "util/table.hpp"
 
 namespace monohids::bench {
@@ -70,6 +71,15 @@ class PhaseTimings {
     phases_.emplace_back(std::move(phase), millis);
   }
 
+  /// Records a phase under the separate setup section: work a binary must
+  /// do before measuring (scenario synthesis, warm-up) but whose cost is
+  /// not the quantity the bench tracks. Setup phases are emitted in their
+  /// own JSON array and excluded from total_ms, so the committed perf
+  /// trajectory follows the measured suites, not the fixture build.
+  void record_setup(std::string phase, double millis) {
+    setup_.emplace_back(std::move(phase), millis);
+  }
+
   /// Times fn() with a steady clock and records it under `phase`.
   template <typename Fn>
   auto time(std::string phase, Fn&& fn) {
@@ -84,9 +94,30 @@ class PhaseTimings {
     }
   }
 
+  /// time() into the setup section.
+  template <typename Fn>
+  auto time_setup(std::string phase, Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      record_setup(std::move(phase), elapsed_ms(start));
+    } else {
+      auto result = fn();
+      record_setup(std::move(phase), elapsed_ms(start));
+      return result;
+    }
+  }
+
+  /// Measured time only (setup excluded).
   [[nodiscard]] double total_ms() const {
     double total = 0.0;
     for (const auto& [name, ms] : phases_) total += ms;
+    return total;
+  }
+
+  [[nodiscard]] double setup_ms() const {
+    double total = 0.0;
+    for (const auto& [name, ms] : setup_) total += ms;
     return total;
   }
 
@@ -96,13 +127,24 @@ class PhaseTimings {
       out += (i == 0 ? "" : ", ");
       out += '"' + escape(config_[i].first) + "\": \"" + escape(config_[i].second) + '"';
     }
-    out += "},\n  \"phases\": [\n";
+    out += "},\n";
+    if (!setup_.empty()) {
+      out += "  \"setup\": [\n";
+      for (std::size_t i = 0; i < setup_.size(); ++i) {
+        out += "    {\"name\": \"" + escape(setup_[i].first) +
+               "\", \"ms\": " + format_ms(setup_[i].second) + '}';
+        out += (i + 1 < setup_.size() ? ",\n" : "\n");
+      }
+      out += "  ],\n  \"setup_ms\": " + format_ms(setup_ms()) + ",\n";
+    }
+    out += "  \"phases\": [\n";
     for (std::size_t i = 0; i < phases_.size(); ++i) {
       out += "    {\"name\": \"" + escape(phases_[i].first) +
              "\", \"ms\": " + format_ms(phases_[i].second) + '}';
       out += (i + 1 < phases_.size() ? ",\n" : "\n");
     }
-    out += "  ],\n  \"total_ms\": " + format_ms(total_ms()) + "\n}\n";
+    out += "  ],\n  \"total_ms\": " + format_ms(total_ms()) +
+           ",\n  \"peak_rss_kib\": " + std::to_string(util::peak_rss_kib()) + "\n}\n";
     return out;
   }
 
@@ -145,6 +187,7 @@ class PhaseTimings {
   }
 
   std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> setup_;
   std::vector<std::pair<std::string, double>> phases_;
 };
 
@@ -178,6 +221,15 @@ inline sim::Scenario scenario_from_flags(const util::CliFlags& flags,
                                          PhaseTimings& timings) {
   echo_standard_config(timings, flags);
   return timings.time("scenario_build", [&] { return scenario_from_flags(flags); });
+}
+
+/// scenario_from_flags for benches where the scenario is a fixture, not the
+/// measurement: the build lands in the JSON "setup" section and stays out
+/// of total_ms.
+inline sim::Scenario scenario_setup_from_flags(const util::CliFlags& flags,
+                                               PhaseTimings& timings) {
+  echo_standard_config(timings, flags);
+  return timings.time_setup("scenario_build", [&] { return scenario_from_flags(flags); });
 }
 
 inline features::FeatureKind feature_from_flags(const util::CliFlags& flags) {

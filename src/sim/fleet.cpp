@@ -1,0 +1,268 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "stats/kernels.hpp"
+#include "util/error.hpp"
+#include "util/rss.hpp"
+#include "util/thread_pool.hpp"
+
+namespace monohids::sim {
+
+namespace {
+
+/// The ascending quantile grid of a fleet row: k / (m - 1), endpoints
+/// included so a row's first/last entries track the user's min/max.
+std::vector<double> grid_quantiles(std::uint32_t grid_points) {
+  std::vector<double> qs(grid_points);
+  for (std::uint32_t k = 0; k < grid_points; ++k) {
+    qs[k] = static_cast<double>(k) / static_cast<double>(grid_points - 1);
+  }
+  return qs;
+}
+
+struct FleetMetrics {
+  obs::Histogram shard_latency;
+  obs::Counter users_total;
+  obs::Counter shards_total;
+  obs::Counter sketch_bytes_total;
+  obs::Gauge peak_rss;
+
+  static FleetMetrics make() {
+    auto& registry = obs::MetricsRegistry::global();
+    return FleetMetrics{
+        registry.histogram("fleet.shard_latency_ms", obs::latency_buckets_ms()),
+        registry.counter("fleet.users_total"),
+        registry.counter("fleet.shards_total"),
+        registry.counter("fleet.sketch_bytes_total"),
+        registry.gauge("fleet.peak_rss_kib"),
+    };
+  }
+};
+
+}  // namespace
+
+std::size_t FleetScenario::slot(features::FeatureKind feature, std::uint32_t week) const {
+  MONOHIDS_EXPECT(week < week_count(), "week beyond the fleet horizon");
+  return features::index_of(feature) * week_count() + week;
+}
+
+std::span<const float> FleetScenario::rows(features::FeatureKind feature,
+                                           std::uint32_t week) const {
+  return store_[slot(feature, week)];
+}
+
+std::span<const float> FleetScenario::row(features::FeatureKind feature,
+                                          std::uint32_t week, std::uint32_t user) const {
+  MONOHIDS_EXPECT(user < user_count(), "user id out of range");
+  return rows(feature, week).subspan(std::size_t{user} * config_.grid_points,
+                                     config_.grid_points);
+}
+
+const stats::GkSketch& FleetScenario::pooled(features::FeatureKind feature,
+                                             std::uint32_t week) const {
+  return pooled_[slot(feature, week)];
+}
+
+std::size_t FleetScenario::store_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& block : store_) total += block.capacity() * sizeof(float);
+  return total;
+}
+
+std::size_t FleetScenario::pooled_sketch_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sketch : pooled_) total += sketch.memory_bytes();
+  return total;
+}
+
+FleetAnalysisCache& FleetScenario::analysis() const {
+  if (analysis_cache_ == nullptr) {
+    analysis_cache_ = std::make_shared<FleetAnalysisCache>(*this);
+  }
+  return *analysis_cache_;
+}
+
+FleetScenario build_fleet_scenario(const FleetConfig& config) {
+  MONOHIDS_EXPECT(config.shard_size > 0, "shard size must be positive");
+  MONOHIDS_EXPECT(config.grid_points >= 2, "quantile grid needs at least 2 points");
+  MONOHIDS_EXPECT(config.sketch_epsilon > 0.0 && config.sketch_epsilon < 0.5,
+                  "sketch epsilon must be in (0, 0.5)");
+  const auto grid_width = config.base.generator.grid.width();
+  MONOHIDS_ENSURE(grid_width > 0 && util::kMicrosPerWeek % grid_width == 0,
+                  "fleet mode requires a week-aligned bin grid");
+
+  FleetScenario fleet;
+  fleet.config_ = config;
+  fleet.bins_per_week_ = static_cast<std::uint32_t>(util::kMicrosPerWeek / grid_width);
+
+  const std::uint32_t users = config.base.population.user_count;
+  const std::uint32_t weeks = config.base.generator.weeks;
+  const std::uint32_t m = config.grid_points;
+  const double eps = config.sketch_epsilon;
+  const std::size_t cells = std::size_t{features::kFeatureCount} * weeks;
+
+  fleet.store_.resize(cells);
+  for (auto& block : fleet.store_) block.resize(std::size_t{users} * m);
+  fleet.pooled_.assign(cells, stats::GkSketch(eps));
+
+  const trace::PopulationBuilder builder(config.base.population);
+  const trace::TraceGenerator generator(config.base.generator);
+  const std::vector<double> qs = grid_quantiles(m);
+
+  FleetMetrics metrics = FleetMetrics::make();
+  std::uint64_t folded_sketch_bytes = 0;
+
+  const std::uint32_t shard_count = (users + config.shard_size - 1) / config.shard_size;
+  for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+    const auto started = std::chrono::steady_clock::now();
+    const std::uint32_t first = shard * config.shard_size;
+    const std::uint32_t count = std::min(config.shard_size, users - first);
+
+    // Per-user sketches land in local slots during the parallel pass; the
+    // pooled fold below consumes them sequentially in user-index order, so
+    // the pooled result is independent of shard layout and thread count.
+    std::vector<stats::GkSketch> shard_sketches(std::size_t{count} * cells,
+                                                stats::GkSketch(eps));
+    util::parallel_for(
+        count,
+        [&](std::size_t local) {
+          const auto id = static_cast<std::uint32_t>(first + local);
+          const trace::UserProfile profile = builder.build(id);
+          const features::FeatureMatrix matrix = generator.generate_features(profile);
+          std::vector<double> scratch;
+          std::vector<double> row(m);
+          for (features::FeatureKind feature : features::kAllFeatures) {
+            for (std::uint32_t week = 0; week < weeks; ++week) {
+              const auto slice = matrix.of(feature).week_slice(week);
+              MONOHIDS_EXPECT(!slice.empty(), "week beyond the generated horizon");
+              scratch.assign(slice.begin(), slice.end());
+              if (!stats::kernels::sort_counts(scratch)) {
+                std::sort(scratch.begin(), scratch.end());
+              }
+              stats::GkSketch sketch = stats::GkSketch::from_sorted(scratch, eps);
+              sketch.quantile_batch(qs, row);
+              const std::size_t cell =
+                  std::size_t{features::index_of(feature)} * weeks + week;
+              float* out = fleet.store_[cell].data() + std::size_t{id} * m;
+              for (std::uint32_t k = 0; k < m; ++k) {
+                out[k] = static_cast<float>(row[k]);
+              }
+              shard_sketches[local * cells + cell] = std::move(sketch);
+            }
+          }
+        },
+        config.threads);
+
+    for (std::uint32_t local = 0; local < count; ++local) {
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        const stats::GkSketch& sketch = shard_sketches[local * cells + cell];
+        folded_sketch_bytes += sketch.memory_bytes();
+        fleet.pooled_[cell].merge(sketch);
+      }
+    }
+
+    if constexpr (obs::kEnabled) {
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started);
+      metrics.shard_latency.observe(elapsed.count());
+      metrics.users_total.add(count);
+      metrics.shards_total.inc();
+      metrics.peak_rss.set(static_cast<std::int64_t>(util::peak_rss_kib()));
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    metrics.sketch_bytes_total.add(folded_sketch_bytes);
+  }
+  return fleet;
+}
+
+FleetAnalysisCache::FleetAnalysisCache(const FleetScenario& fleet,
+                                       std::size_t max_resident_weeks)
+    : fleet_(fleet), max_resident_(std::max<std::size_t>(1, max_resident_weeks)) {}
+
+std::shared_ptr<const hids::DistributionCache::DistributionSet> FleetAnalysisCache::week(
+    features::FeatureKind feature, std::uint32_t week, unsigned threads) {
+  const std::size_t key =
+      std::size_t{features::index_of(feature)} * fleet_.week_count() + week;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+    if (it->first == key) {
+      auto holder = it->second;  // refresh LRU position (most recent last)
+      resident_.erase(it);
+      resident_.emplace_back(key, holder);
+      return {holder, &holder->set};
+    }
+  }
+
+  // Expand the float rows into one shared double arena with per-user views.
+  // Rank tables make the downstream threshold sweeps O(1) per query.
+  const std::span<const float> rows = fleet_.rows(feature, week);
+  const std::uint32_t users = fleet_.user_count();
+  const std::uint32_t m = fleet_.grid_points();
+  auto holder = std::make_shared<Expansion>();
+  holder->arena.resize(rows.size());
+  holder->set.resize(users);
+  std::vector<double>& arena = holder->arena;
+  DistributionSet& set = holder->set;
+  util::parallel_for(
+      users,
+      [&](std::size_t u) {
+        const std::size_t offset = u * m;
+        for (std::uint32_t k = 0; k < m; ++k) {
+          arena[offset + k] = static_cast<double>(rows[offset + k]);
+        }
+        set[u] = stats::EmpiricalDistribution::view_of_sorted(
+            std::span<const double>(arena.data() + offset, m), true);
+      },
+      threads);
+
+  resident_.emplace_back(key, holder);
+  if (resident_.size() > max_resident_) resident_.erase(resident_.begin());
+  return {holder, &holder->set};
+}
+
+std::shared_ptr<const hids::ThresholdAssignment> FleetAnalysisCache::thresholds(
+    features::FeatureKind feature, std::uint32_t train_week,
+    const hids::Grouper& grouper, const hids::ThresholdHeuristic& heuristic,
+    const hids::AttackModel* attack, unsigned threads) {
+  const auto train = week(feature, train_week, threads);
+  return std::make_shared<const hids::ThresholdAssignment>(
+      hids::assign_thresholds(*train, grouper, heuristic, attack, threads));
+}
+
+std::shared_ptr<const hids::AttackModel> FleetAnalysisCache::attack_model(
+    features::FeatureKind feature, std::uint32_t train_week, std::uint32_t steps,
+    unsigned threads) {
+  const auto train = week(feature, train_week, threads);
+  const double max_size = hids::max_observed_value(*train);
+  return std::make_shared<const hids::AttackModel>(
+      hids::log_attack_sweep(1.0, std::max(2.0, max_size), steps));
+}
+
+hids::PolicyOutcome evaluate_fleet_policy(const FleetScenario& fleet,
+                                          features::FeatureKind feature,
+                                          hids::EvaluationRound round,
+                                          const hids::Grouper& grouper,
+                                          const hids::ThresholdHeuristic& heuristic,
+                                          const hids::AttackModel& attack,
+                                          unsigned threads) {
+  FleetAnalysisCache& cache = fleet.analysis();
+  const auto train = cache.week(feature, round.train_week, threads);
+  const auto test = cache.week(feature, round.test_week, threads);
+  hids::PolicyOutcome outcome =
+      hids::evaluate_policy(*train, *test, grouper, heuristic, attack, threads);
+  // The stock path counted alarms per compact-row sample (grid_points of
+  // them); a console meters alarms per real test-week bin.
+  for (auto& user : outcome.users) {
+    user.weekly_false_alarms = static_cast<std::uint64_t>(
+        std::llround(user.fp_rate * static_cast<double>(fleet.bins_per_week())));
+  }
+  return outcome;
+}
+
+}  // namespace monohids::sim

@@ -1,5 +1,6 @@
 #include "trace/population.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/sampling.hpp"
@@ -18,178 +19,230 @@ std::array<double, kAppCount> base_session_rates() noexcept {
   return rates;
 }
 
-std::vector<UserProfile> generate_population(const PopulationConfig& config) {
-  MONOHIDS_EXPECT(config.user_count > 0, "population must be non-empty");
-  MONOHIDS_EXPECT(config.heavy_fraction >= 0.0 && config.heavy_fraction <= 1.0,
+namespace {
+
+/// Samples one user's full profile (everything except the global extreme
+/// post-pass). The draw order here is the population RNG contract: the
+/// preview pass below replays its prefix, so any reordering must update
+/// both (and the builder-vs-generate regression test will catch a slip).
+UserProfile sample_base_profile(const PopulationConfig& config,
+                                const std::array<double, kAppCount>& base_rates,
+                                std::uint32_t id) {
+  UserProfile u;
+  u.user_id = id;
+  u.seed = util::derive_seed(config.seed, "user", id);
+  u.address = net::Ipv4Address(config.subnet_base.value() + 1 + id);
+  util::Xoshiro256 rng(util::derive_seed(u.seed, "profile", 0));
+
+  // Overall intensity: log-normal body plus a heavy-class boost for a
+  // ~heavy_fraction subset. This mixture produces the knee in Fig. 1.
+  const stats::LogNormalSampler body(config.intensity_log_mu, config.intensity_log_sigma);
+  u.intensity = std::max(0.6, body.sample(rng));  // even idle hosts chatter
+  u.heavy_class = rng.uniform01() < config.heavy_fraction;
+  double episode_amp = 1.0;
+  double episode_rate_scale = 1.0;
+  if (u.heavy_class) {
+    // Heavy users are mostly *episodically* heavy: only a mild bulk boost,
+    // with the rest of the heaviness expressed as bigger, more frequent
+    // bursts. This is what lets their 99th-percentile thresholds reach
+    // decades above the median user while the population-pooled threshold
+    // stays near the mid-bulk (as the paper's Fig. 4(b) numbers imply).
+    const stats::LogNormalSampler boost(config.heavy_boost_log_mu,
+                                        config.heavy_boost_log_sigma);
+    const double total_boost = boost.sample(rng);
+    const double bulk_boost = std::min(total_boost, 2.5);
+    u.intensity *= bulk_boost;
+    episode_amp = 1.0 + 2.0 * (total_boost / bulk_boost);
+    episode_rate_scale = 3.0;
+  }
+
+  // Behavioral archetype: which applications dominate. Sampled
+  // independently of intensity, archetypes break the cross-feature
+  // correlation a single intensity scalar would impose — they create the
+  // Fig.-2 corners (TCP-heavy-but-UDP-light users and the reverse).
+  const double role_draw = rng.uniform01();
+  if (role_draw < 0.40) {
+    u.archetype = Archetype::Browser;
+  } else if (role_draw < 0.55) {
+    u.archetype = Archetype::Developer;
+  } else if (role_draw < 0.70) {
+    u.archetype = Archetype::Media;
+  } else if (role_draw < 0.85) {
+    u.archetype = Archetype::MailCentric;
+  } else {
+    u.archetype = Archetype::Balanced;
+  }
+  std::array<double, kAppCount> role{1, 1, 1, 1, 1, 1};
+  switch (u.archetype) {
+    case Archetype::Browser:
+      role[index_of(AppKind::Web)] = 2.5;
+      role[index_of(AppKind::Dns)] = 1.4;
+      role[index_of(AppKind::P2p)] = 0.1;
+      break;
+    case Archetype::Developer:
+      role[index_of(AppKind::Update)] = 7.0;
+      role[index_of(AppKind::Interactive)] = 3.5;
+      role[index_of(AppKind::Web)] = 0.5;
+      role[index_of(AppKind::Dns)] = 0.5;
+      role[index_of(AppKind::P2p)] = 0.05;
+      break;
+    case Archetype::Media:
+      role[index_of(AppKind::P2p)] = 9.0;
+      role[index_of(AppKind::Web)] = 0.7;
+      break;
+    case Archetype::MailCentric:
+      role[index_of(AppKind::Mail)] = 4.0;
+      role[index_of(AppKind::Interactive)] = 2.0;
+      role[index_of(AppKind::Web)] = 0.4;
+      role[index_of(AppKind::P2p)] = 0.05;
+      break;
+    case Archetype::Balanced:
+      break;
+  }
+
+  // Per-app mix: archetype times an independent log-normal weight.
+  for (AppKind app : kAllApps) {
+    const double sigma =
+        app == AppKind::Dns ? config.dns_mix_log_sigma : config.app_mix_log_sigma;
+    const stats::LogNormalSampler mix(-sigma * sigma / 2.0, sigma);  // mean 1
+    double weight = std::max(0.15, mix.sample(rng)) * role[index_of(app)];
+    // Outside the media archetype P2P stays mostly absent.
+    if (app == AppKind::P2p && u.archetype != Archetype::Media &&
+        rng.uniform01() < 0.6) {
+      weight *= 0.02;
+    }
+    u.session_rate_per_hour[index_of(app)] =
+        base_rates[index_of(app)] * u.intensity * weight;
+  }
+
+  // Diurnal rhythm: phase jitter, work/evening levels, weekend behavior.
+  u.diurnal.phase_hours = (rng.uniform01() - 0.5) * 4.0;
+  u.diurnal.work_level = 0.8 + rng.uniform01() * 0.4;
+  u.diurnal.evening_level = 0.2 + rng.uniform01() * 0.5;
+  u.diurnal.night_floor = 0.02 + rng.uniform01() * 0.05;
+  u.diurnal.weekend_factor = 0.15 + rng.uniform01() * 0.5;
+
+  // Burst episodes: heavier users also burst more.
+  u.episode_rate_per_hour = (0.01 + rng.uniform01() * 0.03) * episode_rate_scale;
+  u.episode_log_sigma = 0.4 + rng.uniform01() * 0.3;
+  u.episode_mean_minutes = 10.0 + rng.uniform01() * 30.0;
+  u.episode_amplitude = episode_amp;
+
+  // Week-over-week drift (mean-1 log-normal per week per app). Heavy
+  // users' workloads are more volatile — endhost profiling studies find
+  // power users dominated by bursty bulk activity — so drift sigma grows
+  // with intensity. This volatility is what pushes the monoculture's
+  // console alarm volume above the diversity policies' (Table 3).
+  const double drift_sigma =
+      config.weekly_drift_log_sigma * (1.0 + 2.0 * std::log10(1.0 + u.intensity));
+  const stats::LogNormalSampler drift(-drift_sigma * drift_sigma / 2.0, drift_sigma);
+  u.weekly_drift.resize(config.weeks);
+  double trend = 1.0;
+  for (std::uint32_t w = 0; w < config.weeks; ++w) {
+    for (AppKind app : kAllApps) {
+      u.weekly_drift[w][index_of(app)] = trend * drift.sample(rng);
+    }
+    trend *= config.weekly_trend;
+  }
+
+  // Resolver caching: hit rate approaches 1 for busy hosts, so effective
+  // DNS traffic grows only ~sqrt(intensity).
+  u.dns_cache_hit =
+      std::clamp(1.0 - std::pow(std::max(1.0, u.intensity), -0.5), 0.0, 0.95);
+
+  // Destination universe grows with intensity (wide spread: Fig. 1c shows
+  // distinct-connection thresholds spanning ~4 decades).
+  u.destination_pool_size = static_cast<std::uint32_t>(
+      std::clamp(140.0 * std::pow(u.intensity, 1.0) * (0.4 + 1.2 * rng.uniform01()),
+                 30.0, 80000.0));
+
+  return u;
+}
+
+/// Promotes one user to an extreme host (build server, data-sync power
+/// user): bulk-heavy machines whose sustained rates dwarf any
+/// population-wide threshold. `rank` is the user's position in the global
+/// intensity ordering of heavy users and seeds the promotion RNG.
+void apply_extreme_promotion(const PopulationConfig& config, std::uint32_t rank,
+                             UserProfile& u) {
+  util::Xoshiro256 xrng(util::derive_seed(config.seed, "extreme", rank));
+  const stats::LogNormalSampler extreme(config.extreme_boost_log_mu,
+                                        config.extreme_boost_log_sigma);
+  const double boost = extreme.sample(xrng);
+  u.intensity *= boost;
+  for (AppKind app : kAllApps) {
+    u.session_rate_per_hour[index_of(app)] *= boost;  // sustained, not bursty
+  }
+  u.episode_amplitude = 1.0;
+  u.dns_cache_hit =
+      std::clamp(1.0 - std::pow(std::max(1.0, u.intensity), -0.5), 0.0, 0.95);
+  u.destination_pool_size = static_cast<std::uint32_t>(std::clamp(
+      static_cast<double>(u.destination_pool_size) * boost, 40.0, 80000.0));
+}
+
+}  // namespace
+
+PopulationBuilder::PopulationBuilder(PopulationConfig config)
+    : config_(config), base_rates_(base_session_rates()) {
+  MONOHIDS_EXPECT(config_.user_count > 0, "population must be non-empty");
+  MONOHIDS_EXPECT(config_.heavy_fraction >= 0.0 && config_.heavy_fraction <= 1.0,
                   "heavy fraction must be in [0,1]");
 
-  const auto base_rates = base_session_rates();
-  std::vector<UserProfile> users;
-  users.reserve(config.user_count);
-
-  for (std::uint32_t id = 0; id < config.user_count; ++id) {
-    UserProfile u;
-    u.user_id = id;
-    u.seed = util::derive_seed(config.seed, "user", id);
-    u.address = net::Ipv4Address(config.subnet_base.value() + 1 + id);
-    util::Xoshiro256 rng(util::derive_seed(u.seed, "profile", 0));
-
-    // Overall intensity: log-normal body plus a heavy-class boost for a
-    // ~heavy_fraction subset. This mixture produces the knee in Fig. 1.
-    const stats::LogNormalSampler body(config.intensity_log_mu, config.intensity_log_sigma);
-    u.intensity = std::max(0.6, body.sample(rng));  // even idle hosts chatter
-    u.heavy_class = rng.uniform01() < config.heavy_fraction;
-    double episode_amp = 1.0;
-    double episode_rate_scale = 1.0;
-    if (u.heavy_class) {
-      // Heavy users are mostly *episodically* heavy: only a mild bulk boost,
-      // with the rest of the heaviness expressed as bigger, more frequent
-      // bursts. This is what lets their 99th-percentile thresholds reach
-      // decades above the median user while the population-pooled threshold
-      // stays near the mid-bulk (as the paper's Fig. 4(b) numbers imply).
-      const stats::LogNormalSampler boost(config.heavy_boost_log_mu,
-                                          config.heavy_boost_log_sigma);
-      const double total_boost = boost.sample(rng);
-      const double bulk_boost = std::min(total_boost, 2.5);
-      u.intensity *= bulk_boost;
-      episode_amp = 1.0 + 2.0 * (total_boost / bulk_boost);
-      episode_rate_scale = 3.0;
+  // Preview pass: replay, per user, exactly the RNG draw prefix of
+  // sample_base_profile() that fixes (intensity, heavy_class) — the two
+  // fields the extreme-promotion ranking reads. ~3 draws per user instead
+  // of a full profile, so planning 1M users costs milliseconds and no
+  // profile has to stay resident.
+  std::vector<std::pair<double, std::uint32_t>> heavy;  // (intensity, id)
+  const stats::LogNormalSampler body(config_.intensity_log_mu,
+                                     config_.intensity_log_sigma);
+  const stats::LogNormalSampler boost(config_.heavy_boost_log_mu,
+                                      config_.heavy_boost_log_sigma);
+  for (std::uint32_t id = 0; id < config_.user_count; ++id) {
+    const std::uint64_t user_seed = util::derive_seed(config_.seed, "user", id);
+    util::Xoshiro256 rng(util::derive_seed(user_seed, "profile", 0));
+    double intensity = std::max(0.6, body.sample(rng));
+    if (rng.uniform01() < config_.heavy_fraction) {
+      intensity *= std::min(boost.sample(rng), 2.5);
+      heavy.emplace_back(intensity, id);
     }
-
-    // Behavioral archetype: which applications dominate. Sampled
-    // independently of intensity, archetypes break the cross-feature
-    // correlation a single intensity scalar would impose — they create the
-    // Fig.-2 corners (TCP-heavy-but-UDP-light users and the reverse).
-    const double role_draw = rng.uniform01();
-    if (role_draw < 0.40) {
-      u.archetype = Archetype::Browser;
-    } else if (role_draw < 0.55) {
-      u.archetype = Archetype::Developer;
-    } else if (role_draw < 0.70) {
-      u.archetype = Archetype::Media;
-    } else if (role_draw < 0.85) {
-      u.archetype = Archetype::MailCentric;
-    } else {
-      u.archetype = Archetype::Balanced;
-    }
-    std::array<double, kAppCount> role{1, 1, 1, 1, 1, 1};
-    switch (u.archetype) {
-      case Archetype::Browser:
-        role[index_of(AppKind::Web)] = 2.5;
-        role[index_of(AppKind::Dns)] = 1.4;
-        role[index_of(AppKind::P2p)] = 0.1;
-        break;
-      case Archetype::Developer:
-        role[index_of(AppKind::Update)] = 7.0;
-        role[index_of(AppKind::Interactive)] = 3.5;
-        role[index_of(AppKind::Web)] = 0.5;
-        role[index_of(AppKind::Dns)] = 0.5;
-        role[index_of(AppKind::P2p)] = 0.05;
-        break;
-      case Archetype::Media:
-        role[index_of(AppKind::P2p)] = 9.0;
-        role[index_of(AppKind::Web)] = 0.7;
-        break;
-      case Archetype::MailCentric:
-        role[index_of(AppKind::Mail)] = 4.0;
-        role[index_of(AppKind::Interactive)] = 2.0;
-        role[index_of(AppKind::Web)] = 0.4;
-        role[index_of(AppKind::P2p)] = 0.05;
-        break;
-      case Archetype::Balanced:
-        break;
-    }
-
-    // Per-app mix: archetype times an independent log-normal weight.
-    for (AppKind app : kAllApps) {
-      const double sigma =
-          app == AppKind::Dns ? config.dns_mix_log_sigma : config.app_mix_log_sigma;
-      const stats::LogNormalSampler mix(-sigma * sigma / 2.0, sigma);  // mean 1
-      double weight = std::max(0.15, mix.sample(rng)) * role[index_of(app)];
-      // Outside the media archetype P2P stays mostly absent.
-      if (app == AppKind::P2p && u.archetype != Archetype::Media &&
-          rng.uniform01() < 0.6) {
-        weight *= 0.02;
-      }
-      u.session_rate_per_hour[index_of(app)] =
-          base_rates[index_of(app)] * u.intensity * weight;
-    }
-
-    // Diurnal rhythm: phase jitter, work/evening levels, weekend behavior.
-    u.diurnal.phase_hours = (rng.uniform01() - 0.5) * 4.0;
-    u.diurnal.work_level = 0.8 + rng.uniform01() * 0.4;
-    u.diurnal.evening_level = 0.2 + rng.uniform01() * 0.5;
-    u.diurnal.night_floor = 0.02 + rng.uniform01() * 0.05;
-    u.diurnal.weekend_factor = 0.15 + rng.uniform01() * 0.5;
-
-    // Burst episodes: heavier users also burst more.
-    u.episode_rate_per_hour = (0.01 + rng.uniform01() * 0.03) * episode_rate_scale;
-    u.episode_log_sigma = 0.4 + rng.uniform01() * 0.3;
-    u.episode_mean_minutes = 10.0 + rng.uniform01() * 30.0;
-    u.episode_amplitude = episode_amp;
-
-    // Week-over-week drift (mean-1 log-normal per week per app). Heavy
-    // users' workloads are more volatile — endhost profiling studies find
-    // power users dominated by bursty bulk activity — so drift sigma grows
-    // with intensity. This volatility is what pushes the monoculture's
-    // console alarm volume above the diversity policies' (Table 3).
-    const double drift_sigma =
-        config.weekly_drift_log_sigma * (1.0 + 2.0 * std::log10(1.0 + u.intensity));
-    const stats::LogNormalSampler drift(-drift_sigma * drift_sigma / 2.0, drift_sigma);
-    u.weekly_drift.resize(config.weeks);
-    double trend = 1.0;
-    for (std::uint32_t w = 0; w < config.weeks; ++w) {
-      for (AppKind app : kAllApps) {
-        u.weekly_drift[w][index_of(app)] = trend * drift.sample(rng);
-      }
-      trend *= config.weekly_trend;
-    }
-
-    // Resolver caching: hit rate approaches 1 for busy hosts, so effective
-    // DNS traffic grows only ~sqrt(intensity).
-    u.dns_cache_hit =
-        std::clamp(1.0 - std::pow(std::max(1.0, u.intensity), -0.5), 0.0, 0.95);
-
-    // Destination universe grows with intensity (wide spread: Fig. 1c shows
-    // distinct-connection thresholds spanning ~4 decades).
-    u.destination_pool_size = static_cast<std::uint32_t>(
-        std::clamp(140.0 * std::pow(u.intensity, 1.0) * (0.4 + 1.2 * rng.uniform01()),
-                   30.0, 80000.0));
-
-    users.push_back(std::move(u));
   }
 
-  // Promote a fixed number of the heaviest heavy-class users to extreme
-  // hosts (build servers, data-sync power users): bulk-heavy machines whose
-  // sustained rates dwarf any population-wide threshold. A deterministic
-  // count keeps the monoculture-vs-diversity alarm asymmetry (Table 3)
-  // stable across seeds instead of hostage to a promotion lottery.
-  std::vector<std::size_t> heavy_ids;
-  for (std::size_t i = 0; i < users.size(); ++i) {
-    if (users[i].heavy_class) heavy_ids.push_back(i);
-  }
-  std::sort(heavy_ids.begin(), heavy_ids.end(), [&](std::size_t a, std::size_t b) {
-    return users[a].intensity > users[b].intensity;
+  // Same ordering as the original post-pass: heavy users by descending
+  // intensity, ties resolved by the pre-sort order (ascending id).
+  std::sort(heavy.begin(), heavy.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
   });
   const std::size_t extreme_count = std::min<std::size_t>(
-      heavy_ids.size(),
-      static_cast<std::size_t>(std::llround(config.extreme_fraction_of_heavy *
-                                            config.heavy_fraction * config.user_count)));
-  for (std::size_t rank = 0; rank < extreme_count; ++rank) {
-    UserProfile& u = users[heavy_ids[rank]];
-    util::Xoshiro256 xrng(util::derive_seed(config.seed, "extreme", rank));
-    const stats::LogNormalSampler extreme(config.extreme_boost_log_mu,
-                                          config.extreme_boost_log_sigma);
-    const double boost = extreme.sample(xrng);
-    u.intensity *= boost;
-    for (AppKind app : kAllApps) {
-      u.session_rate_per_hour[index_of(app)] *= boost;  // sustained, not bursty
-    }
-    u.episode_amplitude = 1.0;
-    u.dns_cache_hit =
-        std::clamp(1.0 - std::pow(std::max(1.0, u.intensity), -0.5), 0.0, 0.95);
-    u.destination_pool_size = static_cast<std::uint32_t>(std::clamp(
-        static_cast<double>(u.destination_pool_size) * boost, 40.0, 80000.0));
+      heavy.size(),
+      static_cast<std::size_t>(std::llround(config_.extreme_fraction_of_heavy *
+                                            config_.heavy_fraction *
+                                            config_.user_count)));
+  extreme_rank_by_id_.reserve(extreme_count);
+  for (std::uint32_t rank = 0; rank < extreme_count; ++rank) {
+    extreme_rank_by_id_.emplace_back(heavy[rank].second, rank);
+  }
+  std::sort(extreme_rank_by_id_.begin(), extreme_rank_by_id_.end());
+}
+
+UserProfile PopulationBuilder::build(std::uint32_t id) const {
+  MONOHIDS_EXPECT(id < config_.user_count, "user id out of range");
+  UserProfile u = sample_base_profile(config_, base_rates_, id);
+  const auto it = std::lower_bound(
+      extreme_rank_by_id_.begin(), extreme_rank_by_id_.end(), id,
+      [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+  if (it != extreme_rank_by_id_.end() && it->first == id) {
+    apply_extreme_promotion(config_, it->second, u);
+  }
+  return u;
+}
+
+std::vector<UserProfile> generate_population(const PopulationConfig& config) {
+  const PopulationBuilder builder(config);
+  std::vector<UserProfile> users;
+  users.reserve(config.user_count);
+  for (std::uint32_t id = 0; id < config.user_count; ++id) {
+    users.push_back(builder.build(id));
   }
   return users;
 }

@@ -7,7 +7,9 @@
 // See DESIGN.md §2 for the substitution rationale.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "trace/user_profile.hpp"
@@ -60,6 +62,38 @@ struct PopulationConfig {
 /// Mean session rates per hour (at activity 1.0, intensity 1.0) per app;
 /// exposed for tests and ablations.
 [[nodiscard]] std::array<double, kAppCount> base_session_rates() noexcept;
+
+/// Random-access population generation for sharded fleet builds.
+///
+/// Profile sampling is pure per user (its RNG stream is derived from the
+/// user id alone), but extreme-host promotion is a *global* post-pass: it
+/// ranks all heavy-class users by intensity and boosts the top few. The
+/// builder makes that compatible with streaming by running a cheap preview
+/// pass at construction — replaying, per user, only the RNG draw prefix
+/// that determines (intensity, heavy_class) — to fix the promotion plan up
+/// front. After that, build(id) is pure: any shard can materialize any
+/// user, in any order, bit-identical to generate_population().
+class PopulationBuilder {
+ public:
+  explicit PopulationBuilder(PopulationConfig config);
+
+  [[nodiscard]] const PopulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t user_count() const noexcept { return config_.user_count; }
+  [[nodiscard]] std::size_t extreme_count() const noexcept {
+    return extreme_rank_by_id_.size();
+  }
+
+  /// Materializes one user's full profile (including extreme promotion when
+  /// the preview plan selected it). Pure: depends only on (config, id).
+  [[nodiscard]] UserProfile build(std::uint32_t id) const;
+
+ private:
+  PopulationConfig config_;
+  std::array<double, kAppCount> base_rates_;
+  /// (user id, promotion rank), sorted by user id, for the preview-planned
+  /// extreme hosts.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> extreme_rank_by_id_;
+};
 
 /// Deterministically generates the population for `config`.
 [[nodiscard]] std::vector<UserProfile> generate_population(const PopulationConfig& config);

@@ -1,0 +1,57 @@
+#include "util/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace monohids::util {
+
+namespace {
+
+/// Reads one "<field>: <kib> kB" line from /proc/self/status. Returns 0 on
+/// non-procfs platforms or when the field is absent.
+std::uint64_t proc_status_kib(const char* field) noexcept {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long parsed = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &parsed) == 1) kib = parsed;
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kib() noexcept {
+  if (const std::uint64_t kib = proc_status_kib("VmHWM"); kib != 0) return kib;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB on Linux/BSD
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t current_rss_kib() noexcept { return proc_status_kib("VmRSS"); }
+
+}  // namespace monohids::util

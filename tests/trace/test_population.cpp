@@ -158,6 +158,70 @@ TEST(Population, DestinationPoolScalesWithIntensity) {
   EXPECT_GT(heavy_total / heavy_n, light_total / light_n);
 }
 
+void expect_same_profile(const UserProfile& a, const UserProfile& b) {
+  EXPECT_EQ(a.user_id, b.user_id);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.address.value(), b.address.value());
+  EXPECT_EQ(a.archetype, b.archetype);
+  EXPECT_EQ(a.heavy_class, b.heavy_class);
+  EXPECT_EQ(a.intensity, b.intensity);
+  for (AppKind app : kAllApps) {
+    EXPECT_EQ(a.session_rate_per_hour[index_of(app)],
+              b.session_rate_per_hour[index_of(app)]);
+  }
+  EXPECT_EQ(a.diurnal.phase_hours, b.diurnal.phase_hours);
+  EXPECT_EQ(a.diurnal.work_level, b.diurnal.work_level);
+  EXPECT_EQ(a.diurnal.evening_level, b.diurnal.evening_level);
+  EXPECT_EQ(a.diurnal.night_floor, b.diurnal.night_floor);
+  EXPECT_EQ(a.diurnal.weekend_factor, b.diurnal.weekend_factor);
+  EXPECT_EQ(a.episode_rate_per_hour, b.episode_rate_per_hour);
+  EXPECT_EQ(a.episode_log_sigma, b.episode_log_sigma);
+  EXPECT_EQ(a.episode_mean_minutes, b.episode_mean_minutes);
+  EXPECT_EQ(a.episode_amplitude, b.episode_amplitude);
+  ASSERT_EQ(a.weekly_drift.size(), b.weekly_drift.size());
+  for (std::size_t w = 0; w < a.weekly_drift.size(); ++w) {
+    for (AppKind app : kAllApps) {
+      EXPECT_EQ(a.weekly_drift[w][index_of(app)], b.weekly_drift[w][index_of(app)]);
+    }
+  }
+  EXPECT_EQ(a.dns_cache_hit, b.dns_cache_hit);
+  EXPECT_EQ(a.destination_pool_size, b.destination_pool_size);
+}
+
+TEST(PopulationBuilder, RandomAccessBuildMatchesGeneratePopulation) {
+  // The fleet contract: builder.build(id) in any order — here reverse, the
+  // worst case for anything relying on sequential state — is bit-identical
+  // to the batch path, including the globally-planned extreme promotions.
+  const auto config = small_config(350);
+  const auto batch = generate_population(config);
+  const trace::PopulationBuilder builder(config);
+  ASSERT_EQ(builder.user_count(), batch.size());
+  for (std::uint32_t id = static_cast<std::uint32_t>(batch.size()); id-- > 0;) {
+    expect_same_profile(builder.build(id), batch[id]);
+  }
+}
+
+TEST(PopulationBuilder, PlansTheSameExtremeCountAsTheBatchPath) {
+  const auto config = small_config(500, 7);
+  const trace::PopulationBuilder builder(config);
+  const auto batch = generate_population(config);
+  // Extreme hosts are the ones with episode_amplitude reset to 1.0 while
+  // still heavy-class with a large intensity; count them via the plan size.
+  const auto expected = static_cast<std::size_t>(std::llround(
+      config.extreme_fraction_of_heavy * config.heavy_fraction * config.user_count));
+  EXPECT_EQ(builder.extreme_count(), expected);
+  std::size_t promoted = 0;
+  for (const auto& u : batch) {
+    if (u.heavy_class && u.episode_amplitude == 1.0) ++promoted;
+  }
+  EXPECT_EQ(promoted, builder.extreme_count());
+}
+
+TEST(PopulationBuilder, RejectsOutOfRangeIds) {
+  const trace::PopulationBuilder builder(small_config(10));
+  EXPECT_THROW((void)builder.build(10), PreconditionError);
+}
+
 TEST(Population, BaseRatesExposeAllApps) {
   const auto rates = base_session_rates();
   for (AppKind app : kAllApps) EXPECT_GT(rates[index_of(app)], 0.0);
