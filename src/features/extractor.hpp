@@ -110,7 +110,21 @@ class FeatureExtractor {
   /// the last packet.
   void finish();
 
-  /// The extracted matrix (valid after finish()).
+  /// Finalizes every bin strictly below `bin` without ending the stream: if
+  /// the in-progress distinct-destination bin lies below `bin`, its count is
+  /// written out and the set cleared — exactly the write the next Start
+  /// event in a bin >= `bin` would have performed, so sealing early is
+  /// bit-identical to letting the stream roll the bin itself. Callers must
+  /// only seal up to a boundary no future event can precede (the live
+  /// daemon seals through the bin of the last ingested packet).
+  void seal_through(std::uint64_t bin) {
+    MONOHIDS_EXPECT(!finished_, "extractor already finished");
+    if (bin > current_distinct_bin_) roll_distinct_bin(bin);
+  }
+
+  /// The extracted matrix. Final after finish(); before that, every bin
+  /// below the last seal_through() boundary is final and later bins are
+  /// still accumulating (the live-monitoring peek).
   [[nodiscard]] const FeatureMatrix& matrix() const noexcept { return matrix_; }
 
  private:

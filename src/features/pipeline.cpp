@@ -55,9 +55,22 @@ std::uint64_t BatchingAdapter::finish() {
 
 IngestSession::IngestSession(net::Ipv4Address monitored, const PipelineConfig& config)
     : monitored_(monitored),
+      grid_(config.grid),
       horizon_(config.horizon),
       table_(monitored, config.flow_config),
       extractor_(config.grid, config.horizon) {}
+
+std::uint64_t IngestSession::completed_bins() const noexcept {
+  const std::uint64_t bin_count = grid_.bin_count(horizon_);
+  return std::min<std::uint64_t>(grid_.bin_of(last_seen_), bin_count);
+}
+
+std::uint64_t IngestSession::seal_completed() {
+  MONOHIDS_EXPECT(!finished_, "IngestSession already finished");
+  const std::uint64_t completed = completed_bins();
+  extractor_.seal_through(completed);
+  return completed;
+}
 
 void IngestSession::on_batch(std::span<const net::PacketRecord> batch) {
   MONOHIDS_EXPECT(!finished_, "IngestSession already finished");

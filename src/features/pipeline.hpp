@@ -92,8 +92,28 @@ class IngestSession final : public PacketSink {
   [[nodiscard]] const net::FlowTableStats& stats() const noexcept { return table_.stats(); }
   [[nodiscard]] std::size_t active_flows() const noexcept { return table_.active_flows(); }
 
+  /// Number of bins fully determined by the packets seen so far: every bin
+  /// strictly below the bin of the last ingested packet, clamped to the
+  /// horizon. All six series record at packet/flow-Start timestamps, which
+  /// arrive in time order, so a bin below this boundary can never change
+  /// again — it is safe to alarm on (the live daemon's watermark).
+  [[nodiscard]] std::uint64_t completed_bins() const noexcept;
+
+  /// Seals every completed bin (writes the pending distinct-destination
+  /// count through the watermark) and returns completed_bins(). The sealed
+  /// prefix of live_matrix() is bit-identical to the same prefix of the
+  /// finish() matrix; sealing repeatedly as the stream advances is safe.
+  std::uint64_t seal_completed();
+
+  /// In-progress feature matrix: bins below the last seal_completed()
+  /// boundary are final, later bins are still accumulating.
+  [[nodiscard]] const FeatureMatrix& live_matrix() const noexcept {
+    return extractor_.matrix();
+  }
+
  private:
   net::Ipv4Address monitored_;
+  util::BinGrid grid_;
   util::Duration horizon_;
   net::FlowTable table_;
   FeatureExtractor extractor_;

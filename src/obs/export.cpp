@@ -123,4 +123,15 @@ void write_global_json(const std::string& path) {
   if (!out.good()) throw std::runtime_error("failed writing metrics JSON: " + path);
 }
 
+void write_global_prometheus(std::ostream& out) {
+  out << to_prometheus(MetricsRegistry::global().snapshot());
+}
+
+void write_global_prometheus(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open prometheus path: " + path);
+  write_global_prometheus(out);
+  if (!out.good()) throw std::runtime_error("failed writing prometheus export: " + path);
+}
+
 }  // namespace monohids::obs

@@ -37,4 +37,11 @@ void write_global_json(const std::string& path);
 /// Same snapshot, written to a stream (exposed for tests and stdout dumps).
 void write_global_json(std::ostream& out);
 
+/// Snapshots the global registry and writes the Prometheus text exposition
+/// to `path` / `out` — the scrape-file ops surface a node_exporter-style
+/// textfile collector (or a curl'd sidecar) picks up from a long-running
+/// daemon. Throws std::runtime_error when the file cannot be written.
+void write_global_prometheus(const std::string& path);
+void write_global_prometheus(std::ostream& out);
+
 }  // namespace monohids::obs

@@ -267,9 +267,13 @@ std::uint32_t read_u32(std::istream& in, bool swapped, bool& ok) {
 }
 
 /// The shared parse loop behind read_pcap and stream_pcap: fills the stats
-/// fields of `result` and hands each parsed packet to `on_packet`.
+/// fields of `result` and hands each parsed packet to `on_packet`. When
+/// `recover` is set, an InputError raised after the global header parsed
+/// cleanly is captured into result.stream_error instead of propagating, so
+/// everything parsed before the fault survives (stream_pcap_recovering).
 template <typename OnPacket>
-void parse_pcap_stream(std::istream& in, PcapReadResult& result, OnPacket&& on_packet) {
+void parse_pcap_stream(std::istream& in, PcapReadResult& result, OnPacket&& on_packet,
+                       bool recover = false) {
   bool ok = false;
   const std::uint32_t magic = read_u32(in, /*swapped=*/false, ok);
   MONOHIDS_ENSURE(ok, "pcap stream is empty");
@@ -301,15 +305,24 @@ void parse_pcap_stream(std::istream& in, PcapReadResult& result, OnPacket&& on_p
   while (true) {
     const std::uint32_t ts_sec = read_u32(in, swapped, ok);
     if (!ok) break;  // clean EOF
-    const std::uint32_t ts_frac = read_u32(in, swapped, ok);
-    const std::uint32_t incl_len = read_u32(in, swapped, ok);
-    const std::uint32_t orig_len = read_u32(in, swapped, ok);
-    MONOHIDS_ENSURE(ok, "truncated pcap record header");
-    MONOHIDS_ENSURE(incl_len <= 10 * 1024 * 1024, "implausible pcap record length");
+    std::uint32_t ts_frac = 0;
+    std::uint32_t incl_len = 0;
+    std::uint32_t orig_len = 0;
+    try {
+      ts_frac = read_u32(in, swapped, ok);
+      incl_len = read_u32(in, swapped, ok);
+      orig_len = read_u32(in, swapped, ok);
+      MONOHIDS_ENSURE(ok, "truncated pcap record header");
+      MONOHIDS_ENSURE(incl_len <= 10 * 1024 * 1024, "implausible pcap record length");
 
-    frame.resize(incl_len);
-    in.read(reinterpret_cast<char*>(frame.data()), incl_len);
-    MONOHIDS_ENSURE(static_cast<bool>(in), "truncated pcap record body");
+      frame.resize(incl_len);
+      in.read(reinterpret_cast<char*>(frame.data()), incl_len);
+      MONOHIDS_ENSURE(static_cast<bool>(in), "truncated pcap record body");
+    } catch (const InputError& e) {
+      if (!recover) throw;
+      result.stream_error = e.what();
+      return;
+    }
 
     Cursor c{frame.data(), frame.size()};
     if (!c.has(kEthernetHeader)) {
@@ -403,6 +416,16 @@ PcapReadResult stream_pcap(std::istream& in, features::PacketSink& sink,
   features::BatchingAdapter batches(sink, max_batch);
   parse_pcap_stream(in, result, [&](const net::PacketRecord& p) { batches.push(p); });
   batches.finish();
+  return result;
+}
+
+PcapReadResult stream_pcap_recovering(std::istream& in, features::PacketSink& sink,
+                                      std::size_t max_batch) {
+  PcapReadResult result;
+  features::BatchingAdapter batches(sink, max_batch);
+  parse_pcap_stream(in, result, [&](const net::PacketRecord& p) { batches.push(p); },
+                    /*recover=*/true);
+  batches.finish();  // the pre-fault tail still reaches the sink
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "features/pipeline.hpp"
@@ -28,6 +29,9 @@ struct PcapReadResult {
   std::uint64_t truncated = 0;          ///< snaplen cut into the headers
   bool nanosecond_timestamps = false;
   bool byte_swapped = false;
+  /// Only set by stream_pcap_recovering: the diagnostic of the mid-stream
+  /// fault that stopped the import early (empty = clean EOF).
+  std::string stream_error;
 };
 
 /// Writes a pcap file (linktype Ethernet, microsecond timestamps).
@@ -46,6 +50,16 @@ void write_pcap(std::ostream& out, const std::vector<net::PacketRecord>& packets
 /// validation and skip behavior as read_pcap.
 PcapReadResult stream_pcap(std::istream& in, features::PacketSink& sink,
                            std::size_t max_batch = features::kDefaultIngestBatch);
+
+/// Fault-tolerant stream_pcap for long-running consumers (the live daemon):
+/// a truncated or corrupt record mid-stream stops the import gracefully
+/// instead of throwing — every packet parsed before the fault is still
+/// flushed to `sink`, and the diagnostic lands in the result's
+/// `stream_error` field. A capture whose global header is already
+/// malformed (bad magic, unsupported linktype, truncated header) throws
+/// InputError exactly like stream_pcap: there is nothing to recover.
+PcapReadResult stream_pcap_recovering(std::istream& in, features::PacketSink& sink,
+                                      std::size_t max_batch = features::kDefaultIngestBatch);
 
 /// RFC 1071 checksum over a 16-bit-aligned header (exposed for tests).
 [[nodiscard]] std::uint16_t ipv4_header_checksum(const std::uint8_t* header,

@@ -271,6 +271,71 @@ TEST(TraceIoErrors, PcapImplausibleRecordLengthIsRejected) {
   expect_pcap_readers_reject(bytes, "implausible pcap record length");
 }
 
+std::uint32_t u32_le_at(const std::string& bytes, std::size_t offset) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 3])) << 24);
+}
+
+TEST(TraceIoErrors, RecoveringPcapStreamSalvagesThePreFaultPrefix) {
+  const std::string bytes = pcap_bytes();
+  // Cut mid-body of the final record: the strict readers throw (asserted
+  // above); the recovering reader must deliver the 7 intact packets and
+  // carry the diagnostic instead.
+  std::istringstream in(bytes.substr(0, bytes.size() - 5));
+  CountingSink sink;
+  const PcapReadResult result = stream_pcap_recovering(in, sink);
+  EXPECT_EQ(sink.packets, 7u);
+  EXPECT_EQ(result.packet_count, 7u);
+  EXPECT_NE(result.stream_error.find("truncated pcap record body"), std::string::npos)
+      << "actual: " << result.stream_error;
+}
+
+TEST(TraceIoErrors, RecoveringPcapStreamStopsAtACorruptRecordHeader) {
+  std::string bytes = pcap_bytes();
+  // Corrupt the *second* record's incl_len (first record is 16 bytes of
+  // header plus its frame) to claim 256 MiB: packet 1 is salvaged, the
+  // fault is diagnosed, and nothing absurd is allocated.
+  const std::size_t second_record = 24 + 16 + u32_le_at(bytes, 24 + 8);
+  ASSERT_LT(second_record + 16, bytes.size());
+  bytes[second_record + 8] = 0x00;
+  bytes[second_record + 9] = 0x00;
+  bytes[second_record + 10] = 0x00;
+  bytes[second_record + 11] = 0x10;
+  std::istringstream in(bytes);
+  CountingSink sink;
+  const PcapReadResult result = stream_pcap_recovering(in, sink);
+  EXPECT_EQ(sink.packets, 1u);
+  EXPECT_NE(result.stream_error.find("implausible pcap record length"), std::string::npos)
+      << "actual: " << result.stream_error;
+}
+
+TEST(TraceIoErrors, RecoveringPcapStreamStillThrowsOnMalformedGlobalHeader) {
+  // A bad magic or truncated global header means there is nothing to
+  // recover: same InputError contract as the strict readers.
+  std::string bytes = pcap_bytes();
+  bytes[0] = 0x00;
+  {
+    std::istringstream in(bytes);
+    CountingSink sink;
+    EXPECT_THROW((void)stream_pcap_recovering(in, sink), InputError);
+  }
+  {
+    std::istringstream in(pcap_bytes().substr(0, 16));
+    CountingSink sink;
+    EXPECT_THROW((void)stream_pcap_recovering(in, sink), InputError);
+  }
+}
+
+TEST(TraceIoErrors, RecoveringPcapStreamIsCleanOnIntactInput) {
+  std::istringstream in(pcap_bytes());
+  CountingSink sink;
+  const PcapReadResult result = stream_pcap_recovering(in, sink);
+  EXPECT_EQ(sink.packets, 8u);
+  EXPECT_TRUE(result.stream_error.empty()) << "unexpected: " << result.stream_error;
+}
+
 TEST(TraceIoErrors, ReadersStillAcceptTheUndamagedBytes) {
   // Guard the tests above against drifting offsets: the pristine writer
   // output must round-trip through every reader.
