@@ -56,6 +56,8 @@ std::string serialize_scenario_config(const ScenarioConfig& config) {
      << "bin_minutes = " << g.grid.width() / util::kMicrosPerMinute << '\n'
      << "episode_log_mu = " << g.episode_log_mu << '\n'
      << "distinct_pool_factor = " << g.distinct_pool_factor << '\n'
+     << "scenario_version = "
+     << (g.scenario_version == trace::ScenarioVersion::V2 ? 2 : 1) << '\n'
      << "fidelity = " << (config.fidelity == TraceFidelity::Packets ? "packets" : "bins")
      << '\n';
   return os.str();
@@ -123,6 +125,13 @@ ScenarioConfig parse_scenario_config(std::string_view text) {
            [&](auto k, auto v) { g.episode_log_mu = parse_number(k, v); }},
           {"distinct_pool_factor",
            [&](auto k, auto v) { g.distinct_pool_factor = parse_number(k, v); }},
+          {"scenario_version",
+           [&](auto k, auto v) {
+             const double n = parse_number(k, v);
+             MONOHIDS_ENSURE(n == 1 || n == 2, "scenario_version must be 1 or 2");
+             g.scenario_version = n == 2 ? trace::ScenarioVersion::V2
+                                         : trace::ScenarioVersion::V1;
+           }},
           {"fidelity",
            [&](auto, auto v) {
              if (v == "bins") {

@@ -116,6 +116,27 @@ FleetScenario build_fleet_scenario(const FleetConfig& config) {
   FleetMetrics metrics = FleetMetrics::make();
   std::uint64_t folded_sketch_bytes = 0;
 
+  // V2 render geometry: a wave of users' matrices stays resident at once
+  // (bounded by a flat byte budget), and the wave renders as flattened
+  // (user, bin-tile) parallel_for items — the counter-mode contract makes
+  // every tile an independent work unit, so small shards and stragglers
+  // still keep every worker busy. The tile size is a pure partition knob
+  // (output invariant by contract); one week per tile is the natural grain
+  // since the sketch fold consumes week slices.
+  const bool v2 = config.base.generator.scenario_version == trace::ScenarioVersion::V2;
+  const std::uint64_t total_bins =
+      generator.config().grid.bin_count(generator.config().horizon());
+  const std::uint64_t tile_bins =
+      config.base.generator.v2_bin_tile != 0
+          ? std::min<std::uint64_t>(config.base.generator.v2_bin_tile, total_bins)
+          : fleet.bins_per_week_;
+  const std::uint64_t tiles_per_user = (total_bins + tile_bins - 1) / tile_bins;
+  constexpr std::size_t kWaveMatrixBudget = std::size_t{64} << 20;  // bytes
+  const std::size_t user_matrix_bytes =
+      std::size_t{features::kFeatureCount} * total_bins * sizeof(double);
+  const std::uint32_t wave_size = static_cast<std::uint32_t>(std::clamp<std::size_t>(
+      kWaveMatrixBudget / std::max<std::size_t>(user_matrix_bytes, 1), 1, 4096));
+
   const std::uint32_t shard_count = (users + config.shard_size - 1) / config.shard_size;
   for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
     const auto started = std::chrono::steady_clock::now();
@@ -127,35 +148,77 @@ FleetScenario build_fleet_scenario(const FleetConfig& config) {
     // the pooled result is independent of shard layout and thread count.
     std::vector<stats::GkSketch> shard_sketches(std::size_t{count} * cells,
                                                 stats::GkSketch(eps));
-    util::parallel_for(
-        count,
-        [&](std::size_t local) {
-          const auto id = static_cast<std::uint32_t>(first + local);
-          const trace::UserProfile profile = builder.build(id);
-          const features::FeatureMatrix matrix = generator.generate_features(profile);
-          std::vector<double> scratch;
-          std::vector<double> row(m);
-          for (features::FeatureKind feature : features::kAllFeatures) {
-            for (std::uint32_t week = 0; week < weeks; ++week) {
-              const auto slice = matrix.of(feature).week_slice(week);
-              MONOHIDS_EXPECT(!slice.empty(), "week beyond the generated horizon");
-              scratch.assign(slice.begin(), slice.end());
-              if (!stats::kernels::sort_counts(scratch)) {
-                std::sort(scratch.begin(), scratch.end());
-              }
-              stats::GkSketch sketch = stats::GkSketch::from_sorted(scratch, eps);
-              sketch.quantile_batch(qs, row);
-              const std::size_t cell =
-                  std::size_t{features::index_of(feature)} * weeks + week;
-              float* out = fleet.store_[cell].data() + std::size_t{id} * m;
-              for (std::uint32_t k = 0; k < m; ++k) {
-                out[k] = static_cast<float>(row[k]);
-              }
-              shard_sketches[local * cells + cell] = std::move(sketch);
-            }
+
+    // Reduce one rendered user into their row slots and sketch slot.
+    const auto reduce_user = [&](std::uint32_t id, std::uint32_t local,
+                                 const features::FeatureMatrix& matrix) {
+      std::vector<double> scratch;
+      std::vector<double> row(m);
+      for (features::FeatureKind feature : features::kAllFeatures) {
+        for (std::uint32_t week = 0; week < weeks; ++week) {
+          const auto slice = matrix.of(feature).week_slice(week);
+          MONOHIDS_EXPECT(!slice.empty(), "week beyond the generated horizon");
+          scratch.assign(slice.begin(), slice.end());
+          if (!stats::kernels::sort_counts(scratch)) {
+            std::sort(scratch.begin(), scratch.end());
           }
-        },
-        config.threads);
+          stats::GkSketch sketch = stats::GkSketch::from_sorted(scratch, eps);
+          sketch.quantile_batch(qs, row);
+          const std::size_t cell = std::size_t{features::index_of(feature)} * weeks + week;
+          float* out = fleet.store_[cell].data() + std::size_t{id} * m;
+          for (std::uint32_t k = 0; k < m; ++k) {
+            out[k] = static_cast<float>(row[k]);
+          }
+          shard_sketches[std::size_t{local} * cells + cell] = std::move(sketch);
+        }
+      }
+    };
+
+    if (v2) {
+      for (std::uint32_t wave_first = 0; wave_first < count; wave_first += wave_size) {
+        const std::uint32_t wave_count = std::min(wave_size, count - wave_first);
+        std::vector<trace::UserProfile> profiles(wave_count);
+        std::vector<features::FeatureMatrix> matrices(wave_count);
+        util::parallel_for(
+            wave_count,
+            [&](std::size_t i) {
+              profiles[i] =
+                  builder.build(static_cast<std::uint32_t>(first + wave_first + i));
+              for (auto& series : matrices[i].series) {
+                series = features::BinnedSeries(generator.config().grid,
+                                                generator.config().horizon());
+              }
+            },
+            config.threads);
+        util::parallel_for(
+            std::size_t{wave_count} * tiles_per_user,
+            [&](std::size_t item) {
+              const std::size_t u = item / tiles_per_user;
+              const std::uint64_t begin = (item % tiles_per_user) * tile_bins;
+              const std::uint64_t end = std::min(total_bins, begin + tile_bins);
+              generator.render_features_v2_tile(profiles[u], begin, end, matrices[u]);
+            },
+            config.threads);
+        util::parallel_for(
+            wave_count,
+            [&](std::size_t i) {
+              reduce_user(static_cast<std::uint32_t>(first + wave_first + i),
+                          static_cast<std::uint32_t>(wave_first + i), matrices[i]);
+              matrices[i] = {};  // release the wave slot before the next wave
+            },
+            config.threads);
+      }
+    } else {
+      util::parallel_for(
+          count,
+          [&](std::size_t local) {
+            const auto id = static_cast<std::uint32_t>(first + local);
+            const trace::UserProfile profile = builder.build(id);
+            const features::FeatureMatrix matrix = generator.generate_features(profile);
+            reduce_user(id, static_cast<std::uint32_t>(local), matrix);
+          },
+          config.threads);
+    }
 
     for (std::uint32_t local = 0; local < count; ++local) {
       for (std::size_t cell = 0; cell < cells; ++cell) {

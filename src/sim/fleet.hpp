@@ -6,7 +6,10 @@
 // population through memory one shard at a time and keeps only a compact
 // eps-approximate summary per (user, feature, week):
 //
-//   shard generation (PR 6 batched generator, parallel within the shard)
+//   shard generation (v2 counter-mode renderer by default: waves of users
+//     bounded by a matrix budget, flattened (user, bin-tile) items through
+//     util::parallel_for; the v1 serial-draw generator per user when
+//     configured)
 //     → per-user GkSketch of each week's bin counts (stats::GkSketch::
 //       from_sorted on the sorted week slice)
 //     → an m-point quantile-grid row (GkSketch::quantile_batch through the
@@ -31,6 +34,9 @@
 // Determinism: rows and pooled sketches are bit-identical for every shard
 // size and thread count — each user's row depends only on (config, user id)
 // and lands in its own slot; the pooled fold is sequential in user order.
+// Under the v2 contract this extends to the bin-tile partition and the
+// SIMD kernel back-end (the counter-mode draw keys make every bin's words
+// independent of how the render work was partitioned).
 #pragma once
 
 #include <cstdint>
@@ -47,7 +53,22 @@ namespace monohids::sim {
 struct FleetConfig {
   /// Population + generator parameters (same meaning as ScenarioConfig;
   /// fidelity is ignored — fleet mode always renders bin-level features).
-  ScenarioConfig base;
+  /// Fleet default: the v2 counter-mode scenario contract
+  /// (trace::ScenarioVersion::V2) — every (user, bin) cell owns an
+  /// independent Philox stream, so shards parallelize over flattened
+  /// (user, bin-tile) work items instead of whole users and the result is
+  /// invariant to the tile partition on top of shard size and thread
+  /// count. Flip base.generator.scenario_version back to V1 to rebuild
+  /// fleet artifacts recorded under the serial-draw contract.
+  ScenarioConfig base = v2_base();
+
+  /// The fleet default base config: stock ScenarioConfig under the v2 draw
+  /// contract.
+  [[nodiscard]] static ScenarioConfig v2_base() {
+    ScenarioConfig config;
+    config.generator.scenario_version = trace::ScenarioVersion::V2;
+    return config;
+  }
 
   /// Users generated and reduced per resident shard. Execution knob: rows
   /// and pooled sketches are bit-identical for every value; peak RSS and

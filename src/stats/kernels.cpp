@@ -217,7 +217,9 @@ namespace detail {
 
 bool cpu_supports_avx2() noexcept {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-  return __builtin_cpu_supports("avx2") != 0;
+  // The AVX2 TU also emits FMA (exact fused ops, matching the scalar
+  // back-end's std::fma), so both feature bits gate the dispatch.
+  return __builtin_cpu_supports("avx2") != 0 && __builtin_cpu_supports("fma") != 0;
 #else
   return false;
 #endif

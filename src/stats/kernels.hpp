@@ -88,6 +88,27 @@ struct Ops {
   /// within that range the conversion is exact in every back-end, so the
   /// widened series is bit-identical across Scalar/AVX2/NEON.
   void (*widen_u32)(std::span<const std::uint32_t> values, double* out);
+
+  /// Writes `blocks` consecutive Philox4x32-10 counter blocks (4 uint32
+  /// words each) of stream (key, stream) starting at block `first_block`
+  /// into `out` — the v2 scenario contract's bulk draw generator
+  /// (util::Philox4x32::fill_blocks is the reference). Pure integer
+  /// function of its arguments, so every back-end produces identical words
+  /// and v2 scenarios are SIMD-invariant by construction.
+  void (*philox_fill)(std::uint64_t key, std::uint64_t stream,
+                      std::uint64_t first_block, std::uint32_t* out,
+                      std::size_t blocks);
+
+  /// Bulk one-word Poisson count resolution — the v2 scenario contract's
+  /// fused session-count sweep: counts[i] resolves words[i] against mean
+  /// means[i] (exp via stats::batch::exp_neg12 then exact inversion below
+  /// the normal cutoff, stats::batch::poisson_normal_word32 above; mean 0
+  /// yields 0). Returns the sum of counts. Every floating-point step is
+  /// either an exact fused multiply-add or a single IEEE op in fixed
+  /// order, so all back-ends produce bit-identical counts (the v2
+  /// SIMD-invariance contract).
+  std::uint64_t (*poisson_counts)(const double* means, const std::uint32_t* words,
+                                  std::uint32_t* counts, std::size_t n);
 };
 
 /// The dispatched table: resolved once on first use from runtime CPU
@@ -182,6 +203,13 @@ namespace detail {
   const auto log2n = static_cast<std::size_t>(std::bit_width(n));
   return t * (log2n + 1) < n;
 }
+
+/// The portable poisson_counts implementation (the scalar back-end's entry
+/// and the reference for the SIMD ones; also the fallback the AVX2 kernel
+/// funnels normal-regime quads and tails through, so every back-end's rare
+/// lanes run literally the same compiled code).
+std::uint64_t poisson_counts_portable(const double* means, const std::uint32_t* words,
+                                      std::uint32_t* counts, std::size_t n);
 
 /// Per-back-end tables; nullptr when compiled out or unsupported at
 /// runtime-detection level (checked by kernels.cpp before exposure).

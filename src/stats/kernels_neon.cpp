@@ -3,6 +3,7 @@
 // needed beyond the architecture itself. Same exactness argument as AVX2:
 // integer ranks/counts only, no reassociated floating-point reductions.
 #include "stats/kernels.hpp"
+#include "util/rng.hpp"
 
 #if defined(__aarch64__)
 
@@ -246,6 +247,15 @@ void widen_u32_neon(std::span<const std::uint32_t> values, double* out) {
   for (; i < n; ++i) out[i] = static_cast<double>(v[i]);
 }
 
+void philox_fill_neon(std::uint64_t key, std::uint64_t stream,
+                      std::uint64_t first_block, std::uint32_t* out,
+                      std::size_t blocks) {
+  // NEON has no 4-wide 32x32 -> 64 multiply analog of _mm256_mul_epu32 that
+  // beats the interleaved scalar schedule here; the portable bulk form
+  // already keeps four blocks in flight.
+  util::Philox4x32::fill_blocks(key, stream, first_block, out, blocks);
+}
+
 }  // namespace
 
 namespace detail {
@@ -254,6 +264,7 @@ const Ops* neon_ops() noexcept {
   static const Ops ops = {
       "neon",            rank_sorted_neon,  rank_unsorted_neon, rank_grid_neon,
       count_exceed_neon, replay_detect_neon, joint_exceed_neon, widen_u32_neon,
+      philox_fill_neon,  poisson_counts_portable,
   };
   return &ops;
 }

@@ -12,10 +12,6 @@ LogNormalSampler::LogNormalSampler(double mu, double sigma) : mu_(mu), sigma_(si
   MONOHIDS_EXPECT(sigma >= 0.0, "log-normal sigma must be non-negative");
 }
 
-double LogNormalSampler::sample(util::Xoshiro256& rng) const {
-  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
-}
-
 double LogNormalSampler::median() const { return std::exp(mu_); }
 double LogNormalSampler::mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2.0); }
 
@@ -58,20 +54,6 @@ std::uint32_t ZipfSampler::sample(util::Xoshiro256& rng) const {
     }
   }
   return static_cast<std::uint32_t>(lo + 1);  // ranks are 1-based
-}
-
-double sample_standard_normal(util::Xoshiro256& rng) {
-  double u1 = rng.uniform01();
-  if (u1 <= 0.0) u1 = 0x1.0p-53;
-  const double u2 = rng.uniform01();
-  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
-}
-
-double sample_exponential(util::Xoshiro256& rng, double rate) {
-  MONOHIDS_EXPECT(rate > 0.0, "exponential rate must be positive");
-  double u = rng.uniform01();
-  if (u <= 0.0) u = 0x1.0p-53;
-  return -std::log(u) / rate;
 }
 
 std::uint64_t sample_poisson(util::Xoshiro256& rng, double mean) {
@@ -129,6 +111,96 @@ void prepare_poisson_rows(std::span<const double> means, std::span<PoissonRow> r
   }
 }
 
+void prepare_poisson_rows32(std::span<const double> means, std::span<PoissonRow32> rows) {
+  MONOHIDS_EXPECT(rows.size() >= means.size(), "prepared rows span too small");
+  double prev_mean = -1.0, prev_limit = 0.0;
+  std::uint64_t prev_threshold = 0;
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    const double mean = means[i];
+    MONOHIDS_EXPECT(mean >= 0.0, "Poisson mean must be non-negative");
+    PoissonRow32& row = rows[i];
+    row.mean = mean;
+    if (mean == 0.0 || mean >= kNormalCutoff32) continue;  // limit/threshold unused
+    if (mean != prev_mean) {
+      prev_mean = mean;
+      prev_limit = std::exp(-mean);
+      prev_threshold = knuth_zero_threshold32(prev_limit);
+    }
+    row.limit = prev_limit;
+    row.zero_threshold = prev_threshold;
+  }
+}
+
+namespace {
+
+/// Word-space threshold for one CDF value: t = min(floor(cdf * 2^32),
+/// 2^32 - 1). A word clears the threshold iff u = w / 2^32 > cdf, so
+/// cdf >= 1 yields an uncrossable entry. The double-precision table build
+/// IS the draw contract (the same thresholds on every platform with IEEE
+/// doubles); distribution tests validate the rows against reference pmfs.
+std::uint32_t cdf_threshold32(double cdf) noexcept {
+  if (cdf >= 1.0) return 0xFFFFFFFFu;
+  if (cdf <= 0.0) return 0;
+  const double t = std::floor(cdf * 0x1.0p32);
+  return t >= 0x1.0p32 ? 0xFFFFFFFFu : static_cast<std::uint32_t>(t);
+}
+
+}  // namespace
+
+std::uint64_t poisson_normal_word32(std::uint32_t w, double mean) noexcept {
+  double u = to_unit32(w);
+  if (u <= 0.0) u = 0x1.0p-33;
+  const double v = mean + std::sqrt(mean) * inverse_normal_cdf(u) + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+PoissonSumCdf::PoissonSumCdf(double mean_step, std::uint32_t stat_cap)
+    : mean_step_(mean_step), stat_cap_(stat_cap) {
+  MONOHIDS_EXPECT(mean_step > 0.0, "Poisson-sum mean step must be positive");
+  MONOHIDS_EXPECT(stat_cap >= 1, "Poisson-sum table needs at least the zero row");
+  MONOHIDS_EXPECT(mean_step * (stat_cap - 1) < kNormalCutoff32,
+                  "Poisson-sum rows must stay below the normal cutoff");
+  rows_.resize(static_cast<std::size_t>(stat_cap) * kCdfRowLen);
+  for (std::uint32_t s = 0; s < stat_cap; ++s) {
+    std::uint32_t* row = rows_.data() + static_cast<std::size_t>(s) * kCdfRowLen;
+    const double mean = mean_step * static_cast<double>(s);
+    double pk = std::exp(-mean), cum = pk;
+    row[0] = cdf_threshold32(cum);
+    for (std::size_t k = 1; k < kCdfRowLen; ++k) {
+      pk *= mean * kInvK[k];
+      cum += pk;
+      row[k] = cdf_threshold32(cum);
+    }
+  }
+}
+
+BinomialCdf::BinomialCdf(double p) : p_(p) {
+  MONOHIDS_EXPECT(p > 0.0 && p < 1.0, "Binomial success probability must be in (0, 1)");
+  // Threshold rows for every n in the tabulated regime (np < cutoff), and
+  // never longer than a row can hold (the row-scan clamp at kCdfRowLen
+  // must stay unreachable: P(X > 47 | np < 12) < 1e-15).
+  n_cap_ = std::min<std::uint32_t>(static_cast<std::uint32_t>(kNormalCutoff32 / p) + 1,
+                                   1u << 14);
+  const double q = 1.0 - p, podq = p / q;
+  rows_.resize(static_cast<std::size_t>(n_cap_) * kCdfRowLen);
+  for (std::uint32_t n = 0; n < n_cap_; ++n) {
+    std::uint32_t* row = rows_.data() + static_cast<std::size_t>(n) * kCdfRowLen;
+    double pk = 1.0;
+    for (std::uint32_t j = 0; j < n; ++j) pk *= q;  // q^n
+    double cum = pk;
+    row[0] = cdf_threshold32(cum);
+    for (std::size_t k = 1; k < kCdfRowLen; ++k) {
+      if (k > n) {
+        row[k] = 0xFFFFFFFFu;  // past the support: CDF is exactly 1
+        continue;
+      }
+      pk *= static_cast<double>(n - k + 1) * kInvK[k] * podq;
+      cum += pk;
+      row[k] = cdf_threshold32(cum);
+    }
+  }
+}
+
 void sample_uniform01_batch(util::Xoshiro256& rng, std::span<double> out) {
   for (double& v : out) v = rng.uniform01();
 }
@@ -153,19 +225,23 @@ std::uint32_t pareto_count_direct(double u, double inv_shape, std::uint32_t cap)
 
 }  // namespace
 
-ParetoCountTable::ParetoCountTable(double shape, std::uint32_t cap) : cap_(cap) {
+ParetoCountTable::ParetoCountTable(double shape, std::uint32_t cap, unsigned word_bits)
+    : cap_(cap) {
   MONOHIDS_EXPECT(shape > 0.0, "Pareto shape must be positive");
   MONOHIDS_EXPECT(cap >= 1, "Pareto count cap must be at least 1");
+  MONOHIDS_EXPECT(word_bits >= 16 && word_bits <= 53, "Pareto word grain out of range");
   const double inv_shape = 1.0 / shape;
+  const double unit = std::ldexp(1.0, -static_cast<int>(word_bits));  // 2^-word_bits
+  const std::uint64_t word_count = std::uint64_t{1} << word_bits;
   boundary_.resize(cap - 1);
   for (std::uint32_t k = 1; k < cap; ++k) {
     // Largest m with count >= k + 1; count is non-increasing in m and
     // count(0) = cap (the word 0 is guarded up to 2^-53), so the invariant
     // holds at lo = 0.
-    std::uint64_t lo = 0, hi = (std::uint64_t{1} << 53) - 1;
+    std::uint64_t lo = 0, hi = word_count - 1;
     while (lo < hi) {
       const std::uint64_t mid = lo + (hi - lo + 1) / 2;
-      if (pareto_count_direct(to_unit(mid), inv_shape, cap) >= k + 1) {
+      if (pareto_count_direct(static_cast<double>(mid) * unit, inv_shape, cap) >= k + 1) {
         lo = mid;
       } else {
         hi = mid - 1;
@@ -174,10 +250,12 @@ ParetoCountTable::ParetoCountTable(double shape, std::uint32_t cap) : cap_(cap) 
     boundary_[k - 1] = lo;
     // The boundary must be exact — both sides of it — or table counts
     // silently diverge from the pow path for rare draws.
-    MONOHIDS_ENSURE(pareto_count_direct(to_unit(lo), inv_shape, cap) >= k + 1,
+    MONOHIDS_ENSURE(pareto_count_direct(static_cast<double>(lo) * unit, inv_shape, cap) >=
+                        k + 1,
                     "Pareto boundary below its own count");
-    MONOHIDS_ENSURE(lo + 1 >= (std::uint64_t{1} << 53) ||
-                        pareto_count_direct(to_unit(lo + 1), inv_shape, cap) < k + 1,
+    MONOHIDS_ENSURE(lo + 1 >= word_count ||
+                        pareto_count_direct(static_cast<double>(lo + 1) * unit, inv_shape,
+                                            cap) < k + 1,
                     "Pareto boundary not tight");
   }
 }

@@ -6,21 +6,49 @@
 // traffic tails. All samplers draw from our deterministic Xoshiro256 engine.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
 #include <span>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace monohids::stats {
+
+/// Standard normal via Box–Muller (single value; the pair's second half is
+/// discarded for simplicity — generation speed is not the bottleneck).
+/// Templated on the engine: any uniform01() source works (Xoshiro256 for
+/// the v1 streams, Philox4x32 for v2 counter-mode streams), and the
+/// arithmetic is identical either way — only the draw grain differs.
+template <typename Engine>
+[[nodiscard]] double sample_standard_normal(Engine& rng) {
+  double u1 = rng.uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Exponential with the given rate (> 0).
+template <typename Engine>
+[[nodiscard]] double sample_exponential(Engine& rng, double rate) {
+  MONOHIDS_EXPECT(rate > 0.0, "exponential rate must be positive");
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
 
 /// Log-normal: ln X ~ N(mu, sigma^2).
 class LogNormalSampler {
  public:
   LogNormalSampler(double mu, double sigma);
-  [[nodiscard]] double sample(util::Xoshiro256& rng) const;
+  template <typename Engine>
+  [[nodiscard]] double sample(Engine& rng) const {
+    return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+  }
   [[nodiscard]] double median() const;
   [[nodiscard]] double mean() const;
 
@@ -58,13 +86,6 @@ class ZipfSampler {
 /// Poisson sampler (inversion for small mean, PTRS-ish normal approximation
 /// cutoff for large mean). Used for per-bin event counts.
 [[nodiscard]] std::uint64_t sample_poisson(util::Xoshiro256& rng, double mean);
-
-/// Standard normal via Box–Muller (single value; the pair's second half is
-/// discarded for simplicity — generation speed is not the bottleneck).
-[[nodiscard]] double sample_standard_normal(util::Xoshiro256& rng);
-
-/// Exponential with the given rate (> 0).
-[[nodiscard]] double sample_exponential(util::Xoshiro256& rng, double rate);
 
 /// Uniform integer in [lo, hi] inclusive.
 [[nodiscard]] std::uint64_t sample_uniform_int(util::Xoshiro256& rng, std::uint64_t lo,
@@ -113,6 +134,36 @@ namespace batch {
 /// plus an exactness fixup (p * 2^53 itself may round).
 [[nodiscard]] std::uint64_t bernoulli_threshold(double p) noexcept;
 
+// -- 32-bit word variants (the v2 counter-mode draw grain) ------------------
+//
+// The v2 scenario contract consumes whole Philox 32-bit words: u =
+// to_unit32(w) = w * 2^-32, exact for every w. The same
+// power-of-two-scaling argument as the 53-bit forms applies, with one
+// simplification: p * 2^32 is itself exact for any double p in (0, 1), so
+// the Bernoulli threshold needs no fixup loop at all. Thresholds are
+// stored as uint64 because the inclusive bounds can be 2^32.
+
+/// The double the v2 contract derives from a raw 32-bit word (exact).
+[[nodiscard]] inline double to_unit32(std::uint32_t w) noexcept {
+  return static_cast<double>(w) * 0x1.0p-32;
+}
+
+/// Smallest T with to_unit32(w) > limit iff w >= T, i.e. Knuth inversion
+/// returns 0 for mean -ln(limit) iff the first word is below T.
+[[nodiscard]] inline std::uint64_t knuth_zero_threshold32(double limit) noexcept {
+  if (limit >= 1.0) return (std::uint64_t{1} << 32) + 1;
+  if (limit <= 0.0) return 1;  // only w = 0 fails to_unit32(w) > 0
+  return static_cast<std::uint64_t>(limit * 0x1.0p32) + 1;
+}
+
+/// Threshold T with (to_unit32(w) < p) == (w < T). Exact by construction:
+/// w * 2^-32 < p iff w < p * 2^32, and both scalings are exact.
+[[nodiscard]] inline std::uint64_t bernoulli_threshold32(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return std::uint64_t{1} << 32;
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p32));
+}
+
 /// Prepared per-mean Poisson parameters. For mean < 30 (Knuth inversion)
 /// `limit` is exp(-mean) and `zero_threshold` its integer form; for the
 /// normal-approximation regime both are unused.
@@ -159,6 +210,265 @@ void prepare_poisson_rows(std::span<const double> means, std::span<PoissonRow> r
   return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
 }
 
+/// Prepared per-mean Poisson parameters in the v2 32-bit draw grain.
+/// Same shape as PoissonRow; the zero threshold lives in the 2^32 word
+/// space instead of 2^53 and the normal-approximation regime starts at
+/// kNormalCutoff32 instead of 30.
+struct PoissonRow32 {
+  double mean = 0.0;
+  double limit = 0.0;
+  std::uint64_t zero_threshold = 0;
+};
+
+/// The v2 contract's normal-approximation cutoff. The 53-bit contract
+/// switches at mean 30; the v2 grain switches at 12, where a single
+/// inverse-CDF normal word already beats a mean-length inversion chain
+/// (the chain is a serial FP dependency, ~mean x 5 cycles) and the
+/// approximation error is still below the model's own fidelity (the paper
+/// works on binned counts an order of magnitude coarser).
+inline constexpr double kNormalCutoff32 = 12.0;
+
+/// Reciprocal table shared by the single-word inversion samplers below:
+/// k-th factorial ratios become multiplies instead of serial divides.
+inline constexpr std::size_t kInvKSize = 256;
+inline constexpr auto kInvK = [] {
+  std::array<double, kInvKSize> inv{};
+  for (std::size_t k = 1; k < kInvKSize; ++k) inv[k] = 1.0 / static_cast<double>(k);
+  return inv;
+}();
+
+/// Acklam's rational approximation of the standard normal inverse CDF
+/// (max absolute error ~1.15e-9 — far below the synthesis model's own
+/// fidelity). One uniform word in, one z out: the v2 contract's normal
+/// draw, replacing the two-word Box–Muller pair so every v2 draw consumes
+/// EXACTLY one 32-bit word regardless of regime.
+[[nodiscard]] inline double inverse_normal_cdf(double u) noexcept {
+  constexpr double a0 = -3.969683028665376e+01, a1 = 2.209460984245205e+02;
+  constexpr double a2 = -2.759285104469687e+02, a3 = 1.383577518672690e+02;
+  constexpr double a4 = -3.066479806614716e+01, a5 = 2.506628277459239e+00;
+  constexpr double b0 = -5.447609879822406e+01, b1 = 1.615858368580409e+02;
+  constexpr double b2 = -1.556989798598866e+02, b3 = 6.680131188771972e+01;
+  constexpr double b4 = -1.328068155288572e+01;
+  constexpr double c0 = -7.784894002430293e-03, c1 = -3.223964580411365e-01;
+  constexpr double c2 = -2.400758277161838e+00, c3 = -2.549732539343734e+00;
+  constexpr double c4 = 4.374664141464968e+00, c5 = 2.938163982698783e+00;
+  constexpr double d0 = 7.784695709041462e-03, d1 = 3.224671290700398e-01;
+  constexpr double d2 = 2.445134137142996e+00, d3 = 3.754408661907416e+00;
+  constexpr double plow = 0.02425;
+  if (u < plow) {
+    const double q = std::sqrt(-2.0 * std::log(u));
+    return (((((c0 * q + c1) * q + c2) * q + c3) * q + c4) * q + c5) /
+           ((((d0 * q + d1) * q + d2) * q + d3) * q + 1.0);
+  }
+  if (u > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - u));
+    return -(((((c0 * q + c1) * q + c2) * q + c3) * q + c4) * q + c5) /
+           ((((d0 * q + d1) * q + d2) * q + d3) * q + 1.0);
+  }
+  const double q = u - 0.5, r = q * q;
+  return (((((a0 * r + a1) * r + a2) * r + a3) * r + a4) * r + a5) * q /
+         (((((b0 * r + b1) * r + b2) * r + b3) * r + b4) * r + 1.0);
+}
+
+/// Exact single-word Poisson inversion for mean < kNormalCutoff32: walks
+/// the CDF from p0 = exp(-mean) until it covers u. The walk is pure FP
+/// multiplies (reciprocals from kInvK), consumes NO further words, and
+/// returns the exact inverse-CDF count — distributionally identical to a
+/// Knuth product chain but with a fixed one-word footprint, which is what
+/// lets the v2 contract precompute every bin's word layout.
+[[nodiscard]] inline std::uint64_t poisson_inv_core(double u, double mean,
+                                                    double p0) noexcept {
+  double pk = p0, cum = p0;
+  std::uint64_t k = 0;
+  while (u > cum && k + 1 < kInvKSize) {
+    ++k;
+    pk *= mean * kInvK[k];
+    cum += pk;
+  }
+  return k;
+}
+
+/// One-word Poisson draw in the v2 grain: exact inversion below
+/// kNormalCutoff32 (limit must be exp(-mean); tabulated by callers), the
+/// inverse-CDF normal approximation with continuity correction above
+/// (limit unused). mean 0 returns 0 without touching the word — but the
+/// word is still consumed by the caller's layout either way.
+[[nodiscard]] inline std::uint64_t sample_poisson_word32(std::uint32_t w, double mean,
+                                                         double limit) noexcept {
+  if (mean == 0.0) return 0;
+  double u = to_unit32(w);
+  if (mean < kNormalCutoff32) [[likely]] return poisson_inv_core(u, mean, limit);
+  if (u <= 0.0) u = 0x1.0p-33;
+  const double v = mean + std::sqrt(mean) * inverse_normal_cdf(u) + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+/// Deterministic exp(-m) for m in [0, kNormalCutoff32): range reduction
+/// against a split ln2 plus a degree-7 Horner polynomial, EVERY multiply-
+/// add an explicit std::fma. Fused ops are correctly rounded, so the
+/// result is a pure function of the double operand sequence — immune to
+/// compiler contraction choices and identical across translation units and
+/// SIMD back-ends (the AVX2 kernel mirrors the same fma chain 4 lanes
+/// wide). Relative error is below 1e-8 (degree-7 truncation at the ln2/2
+/// reduction edge, ~7e-9 measured worst case), which only perturbs the v2
+/// draw contract's tabulated thresholds by O(1e-8) in probability; the
+/// function itself (not libm exp) IS the contract for the bulk count
+/// sweep.
+[[nodiscard]] inline double exp_neg12(double m) noexcept {
+  constexpr double kLog2e = 1.4426950408889634;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  const double x = -m;
+  const double kd = std::floor(std::fma(x, kLog2e, 0.5));
+  double r = std::fma(-kd, kLn2Hi, x);
+  r = std::fma(-kd, kLn2Lo, r);
+  // exp(r) for |r| <= ln2 / 2, Horner in explicit fma steps.
+  double p = 1.0 / 5040.0;
+  p = std::fma(p, r, 1.0 / 720.0);
+  p = std::fma(p, r, 1.0 / 120.0);
+  p = std::fma(p, r, 1.0 / 24.0);
+  p = std::fma(p, r, 1.0 / 6.0);
+  p = std::fma(p, r, 0.5);
+  p = std::fma(p, r, 1.0);
+  p = std::fma(p, r, 1.0);
+  // Scale by 2^kd; kd is in [-18, 0] for this domain, so the biased
+  // exponent never underflows.
+  const auto bits = static_cast<std::uint64_t>(1023 + static_cast<int>(kd)) << 52;
+  return p * std::bit_cast<double>(bits);
+}
+
+/// Out-of-line normal-regime resolution of one count word (mean >=
+/// kNormalCutoff32). Lives in sampling.cpp so that every back-end's bulk
+/// count sweep funnels rare heavy-mean lanes through literally the same
+/// compiled code — one TU, one instruction sequence, no per-TU
+/// floating-point contraction drift.
+[[nodiscard]] std::uint64_t poisson_normal_word32(std::uint32_t w, double mean) noexcept;
+
+/// Length of a precomputed inverse-CDF threshold row. Rows only exist for
+/// means below kNormalCutoff32, where P(X > 47) is below 1e-15 — the scan
+/// clamp at the row edge is unreachable in practice and documented as part
+/// of the draw contract.
+inline constexpr std::size_t kCdfRowLen = 48;
+
+/// Resolves a word against one threshold row: k = #{j : w > t_j} with
+/// t_j = min(floor(P(X <= j) * 2^32), 2^32 - 1), i.e. exact inverse-CDF
+/// inversion of u = w / 2^32 (u > CDF_j iff w > t_j) with every comparison
+/// a single integer compare. Entries with CDF 1 store 2^32 - 1, which no
+/// word clears, so the scan terminates naturally at the support edge. The
+/// scan exits at the first uncleared threshold — expected probes E[X] + 1.
+[[nodiscard]] inline std::uint64_t cdf_row_scan(const std::uint32_t* row,
+                                               std::uint32_t w) noexcept {
+  std::uint64_t k = 0;
+  while (k < kCdfRowLen && w > row[k]) ++k;
+  return k;
+}
+
+/// One-word Poisson-sum draw table: row s holds the threshold row for
+/// Poisson(s * mean_step), one row per integer sufficient statistic below
+/// the cap. Draws with a tabulated stat are integer row scans; past the
+/// cap the mean has cleared kNormalCutoff32 (by construction of the cap)
+/// and the draw falls back to the one-word inverse-CDF normal. This is the
+/// v2 contract's merged form of a run of per-session Poisson draws: a sum
+/// of independent Poissons is Poisson of the summed mean, and the summed
+/// mean is an integer statistic times a model constant.
+class PoissonSumCdf {
+ public:
+  PoissonSumCdf(double mean_step, std::uint32_t stat_cap);
+
+  [[nodiscard]] std::uint64_t sample(std::uint32_t w, std::uint64_t stat) const noexcept {
+    if (stat < stat_cap_) [[likely]] {
+      return cdf_row_scan(rows_.data() + stat * kCdfRowLen, w);
+    }
+    const double mean = mean_step_ * static_cast<double>(stat);
+    double u = to_unit32(w);
+    if (u <= 0.0) u = 0x1.0p-33;
+    const double v = mean + std::sqrt(mean) * inverse_normal_cdf(u) + 0.5;
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+
+  [[nodiscard]] std::uint32_t stat_cap() const noexcept { return stat_cap_; }
+
+ private:
+  double mean_step_;
+  std::uint32_t stat_cap_;
+  std::vector<std::uint32_t> rows_;  // stat-major threshold rows
+};
+
+/// One-word Binomial(n, p) draw table with a fixed success probability:
+/// threshold rows for every n whose mean np stays below the normal cutoff,
+/// the one-word inverse-CDF normal with continuity correction (clamped to
+/// [0, n]) above. The v2 contract's merged form of a per-trial Bernoulli
+/// pass: the feature matrix only consumes success TOTALS, and the total of
+/// n independent Bernoulli(p) trials is exactly Binomial(n, p), so one
+/// word replaces n.
+class BinomialCdf {
+ public:
+  explicit BinomialCdf(double p);
+
+  [[nodiscard]] std::uint64_t sample(std::uint32_t w, std::uint64_t n) const noexcept {
+    if (n == 0) return 0;
+    if (n < n_cap_) [[likely]] {
+      return std::min<std::uint64_t>(cdf_row_scan(rows_.data() + n * kCdfRowLen, w), n);
+    }
+    const double mean = p_ * static_cast<double>(n);
+    double u = to_unit32(w);
+    if (u <= 0.0) u = 0x1.0p-33;
+    const double v = mean + std::sqrt(mean * (1.0 - p_)) * inverse_normal_cdf(u) + 0.5;
+    if (v <= 0.0) return 0;
+    return std::min(static_cast<std::uint64_t>(v), n);
+  }
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] std::uint32_t n_cap() const noexcept { return n_cap_; }
+
+ private:
+  double p_;
+  std::uint32_t n_cap_;
+  std::vector<std::uint32_t> rows_;  // n-major threshold rows
+};
+
+/// Fills rows[i] from means[i]; consecutive equal means share one exp()
+/// call, consumes no draws (the 32-bit analog of prepare_poisson_rows,
+/// with the kNormalCutoff32 regime split).
+void prepare_poisson_rows32(std::span<const double> means, std::span<PoissonRow32> rows);
+
+/// The v2 normal-approximation Poisson draw: two words, Box–Muller, the
+/// 32-bit analog of sample_poisson_prepared's large-mean branch. Exposed
+/// on its own because the v2 renderer also applies it to merged
+/// Poisson-sum draws whose mean clears kNormalCutoff32.
+template <typename Engine>
+[[gnu::always_inline]] inline std::uint64_t sample_poisson_normal32(Engine& rng, double mean) {
+  double u1 = rng.uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-32;
+  const double u2 = rng.uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  const double v = mean + std::sqrt(mean) * z + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+/// Draws one Poisson count from a prepared row out of a 32-bit word source
+/// (util::Philox4x32 or the trace generator's scratch-buffer cursor —
+/// anything with a uint32 operator() and a matching uniform01()). Defines
+/// the v2 contract's Poisson draw: Knuth inversion below kNormalCutoff32
+/// (one word per chain step), sample_poisson_normal32 above.
+template <typename Engine>
+[[gnu::always_inline]] inline std::uint64_t sample_poisson_prepared32(
+    Engine& rng, const PoissonRow32& row) {
+  if (row.mean == 0.0) return 0;
+  if (row.mean < kNormalCutoff32) [[likely]] {
+    const std::uint32_t w1 = rng();
+    if (w1 < row.zero_threshold) return 0;
+    double product = to_unit32(w1);
+    std::uint64_t k = 0;
+    do {
+      product *= rng.uniform01();
+      ++k;
+    } while (product > row.limit);
+    return k;
+  }
+  return sample_poisson_normal32(rng, row.mean);
+}
+
 /// out[i] = rng.uniform01(), in order — the batched form of the arrival
 /// draws (one per session) in the packet walk.
 void sample_uniform01_batch(util::Xoshiro256& rng, std::span<double> out);
@@ -171,10 +481,15 @@ void sample_exponential_batch(util::Xoshiro256& rng, double rate, std::span<doub
 /// the apps.cpp pareto_count draw. boundary[k-1] holds the largest draw
 /// word m with count(to_unit(m)) >= k + 1, so a count is recovered from a
 /// raw word with integer compares only (no pow). Boundaries are found once
-/// by binary search over the 2^53 word space and verified exact.
+/// by binary search over the 2^word_bits word space and verified exact.
+///
+/// word_bits selects the draw grain the table serves: 53 for v1 engine
+/// words (m = engine() >> 11, u = m * 2^-53), 32 for v2 Philox words (u =
+/// w * 2^-32). The u <= 0 guard stays at 2^-53 in both grains, so word 0
+/// maps to the cap either way.
 class ParetoCountTable {
  public:
-  ParetoCountTable(double shape, std::uint32_t cap);
+  ParetoCountTable(double shape, std::uint32_t cap, unsigned word_bits = 53);
 
   /// Count for draw word m (= engine() >> 11). Descending boundary scan;
   /// expected ~1-2 probes for shape > 1.5.

@@ -33,9 +33,14 @@
 
 namespace monohids::trace {
 
-class EpisodeProcess {
+/// Templated on the engine: v1 paths step a Xoshiro256 stream, the v2
+/// counter-mode contract steps a Philox4x32 stream (seeded with the
+/// episode key, stream 0). The draw semantics above are engine-agnostic —
+/// only the draw grain differs.
+template <typename Engine = util::Xoshiro256>
+class BasicEpisodeProcess {
  public:
-  EpisodeProcess(const UserProfile& user, double log_mu, std::uint64_t seed)
+  BasicEpisodeProcess(const UserProfile& user, double log_mu, std::uint64_t seed)
       : user_(&user), log_mu_(log_mu), rng_(seed) {}
 
   /// Multiplier in effect for the bin starting at `bin_start`.
@@ -63,9 +68,12 @@ class EpisodeProcess {
  private:
   const UserProfile* user_;
   double log_mu_;
-  util::Xoshiro256 rng_;
+  Engine rng_;
   double multiplier_ = 1.0;
   util::Timestamp episode_end_ = 0;
 };
+
+/// The v1 process (Xoshiro engine), under its historical name.
+using EpisodeProcess = BasicEpisodeProcess<>;
 
 }  // namespace monohids::trace

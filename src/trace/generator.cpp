@@ -56,6 +56,7 @@ DestinationPools TraceGenerator::make_pools(const UserProfile& user) const {
 }
 
 features::FeatureMatrix TraceGenerator::generate_features(const UserProfile& user) const {
+  if (config_.scenario_version == ScenarioVersion::V2) return generate_features_v2(user);
   if (batched_generation_enabled()) return generate_features_batched(user);
   return generate_features_reference(user);
 }
@@ -134,6 +135,11 @@ void TraceGenerator::walk_packets(const UserProfile& user, Timestamp begin, Time
                                   BinStart&& on_rendered_bin) const {
   MONOHIDS_EXPECT(begin < end, "empty packet range");
   MONOHIDS_EXPECT(end <= config_.horizon(), "range beyond generator horizon");
+  // The packet walk shares the v1 "bins" stream draw for draw with the
+  // bin-level path; the v2 counter-mode contract has no packet rendering
+  // (its draws are keyed per bin, not walked serially).
+  MONOHIDS_EXPECT(config_.scenario_version == ScenarioVersion::V1,
+                  "packet rendering requires the v1 scenario contract");
 
   const util::BinGrid grid = config_.grid;
   const DestinationPools pools = make_pools(user);

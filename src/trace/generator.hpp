@@ -25,6 +25,21 @@
 
 namespace monohids::trace {
 
+/// Scenario draw contract.
+///
+/// V1 (the seed contract): every user draws from two serial Xoshiro256
+/// streams ("bins", "episodes"); each bin's draws depend on every earlier
+/// bin's. Preserved bit-for-bit — seeds quoted in EXPERIMENTS.md keep
+/// producing the exact matrices they always did.
+///
+/// V2 (counter-mode): every (user, bin) cell owns an independent
+/// random-access Philox4x32 stream (key derive_seed(user.seed, "v2/bins",
+/// 0), stream = bin index), with episode boosts from a serial Philox
+/// stream keyed "v2/episodes". Bins render independently and in SIMD-width
+/// word blocks, so any tile partition, thread count, shard size or kernel
+/// back-end yields the identical matrix. This is the fleet default.
+enum class ScenarioVersion : std::uint8_t { V1 = 1, V2 = 2 };
+
 struct GeneratorConfig {
   util::BinGrid grid = util::BinGrid::minutes(15);
   std::uint32_t weeks = 5;  ///< horizon; the paper's traces span 5 weeks
@@ -36,6 +51,17 @@ struct GeneratorConfig {
   /// bin-level path (destination picks are popularity-weighted, so the
   /// effective pool is smaller than the nominal one).
   double distinct_pool_factor = 0.6;
+
+  /// Draw contract for the feature path. V1 stays the default so every
+  /// seed-quoted artifact is untouched; fleet mode flips its copy to V2
+  /// (see sim::FleetConfig).
+  ScenarioVersion scenario_version = ScenarioVersion::V1;
+
+  /// V2 only: bins per render tile inside generate_features (0 = the whole
+  /// horizon as one tile). Pure partition knob — the output is tile-size
+  /// invariant by the V2 contract; fleet mode uses it to interleave cheap
+  /// (user, tile) work items.
+  std::uint32_t v2_bin_tile = 0;
 
   /// Rendered horizon, rounded UP to a whole number of bins. The feature
   /// path always renders bin_count(horizon) full bins; before this was
@@ -79,10 +105,21 @@ class TraceGenerator {
   [[nodiscard]] const GeneratorConfig& config() const noexcept { return config_; }
 
   /// Fast path: the user's six binned feature series over the full horizon.
-  /// Dispatches to the batched pipeline (precomputed rate tables, prepared
-  /// Poisson rows, SoA staging) unless batched_generation_enabled() is off;
-  /// both implementations are bit-identical draw for draw.
+  /// Under ScenarioVersion::V1, dispatches to the batched pipeline
+  /// (precomputed rate tables, prepared Poisson rows, SoA staging) unless
+  /// batched_generation_enabled() is off; both implementations are
+  /// bit-identical draw for draw. Under V2, renders the counter-mode
+  /// contract tile by tile (v2_bin_tile).
   [[nodiscard]] features::FeatureMatrix generate_features(const UserProfile& user) const;
+
+  /// V2 only: renders bins [tile_begin, tile_end) of the counter-mode
+  /// contract into `matrix` (which must span the full horizon). Tiles of
+  /// one user may be rendered in any order, interleaved with other users,
+  /// on any thread — each touches only its own bins and the result is
+  /// partition-invariant. Defined in batched_generator.cpp.
+  void render_features_v2_tile(const UserProfile& user, std::uint64_t tile_begin,
+                               std::uint64_t tile_end,
+                               features::FeatureMatrix& matrix) const;
 
   /// The preserved seed implementation of generate_features: one
   /// activity/episode/poisson/footprint round-trip per (bin, app). Kept as
@@ -120,6 +157,10 @@ class TraceGenerator {
   /// batched_generator.cpp.
   [[nodiscard]] features::FeatureMatrix generate_features_batched(
       const UserProfile& user) const;
+
+  /// V2 counter-mode implementation of generate_features: the tile loop
+  /// over render_features_v2_tile. Defined in batched_generator.cpp.
+  [[nodiscard]] features::FeatureMatrix generate_features_v2(const UserProfile& user) const;
 
   /// Shared bin-walk behind both packet paths: appends rendered session
   /// packets to `pending` and invokes `on_rendered_bin(bin_start)` before

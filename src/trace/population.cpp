@@ -21,10 +21,45 @@ std::array<double, kAppCount> base_session_rates() noexcept {
 
 namespace {
 
+/// The intensity prefix of a user's profile — the first draws of the
+/// per-user "profile" stream, which fix (intensity, heavy_class). Pure
+/// keyed function of the stream the caller seeds: both sample_base_profile
+/// and the extreme-promotion planning pass resolve it through here, so the
+/// planning preview can never drift from the profile draw order (the old
+/// arrangement hand-replayed this prefix in two places).
+struct IntensityPrefix {
+  double intensity = 0.0;    ///< bulk intensity, heavy boost applied
+  double total_boost = 1.0;  ///< raw heavy boost draw (1 when not heavy)
+  bool heavy = false;
+};
+
+IntensityPrefix sample_intensity_prefix(const PopulationConfig& config,
+                                        util::Xoshiro256& rng) {
+  // Overall intensity: log-normal body plus a heavy-class boost for a
+  // ~heavy_fraction subset. This mixture produces the knee in Fig. 1.
+  const stats::LogNormalSampler body(config.intensity_log_mu, config.intensity_log_sigma);
+  IntensityPrefix prefix;
+  prefix.intensity = std::max(0.6, body.sample(rng));  // even idle hosts chatter
+  prefix.heavy = rng.uniform01() < config.heavy_fraction;
+  if (prefix.heavy) {
+    // Heavy users are mostly *episodically* heavy: only a mild bulk boost,
+    // with the rest of the heaviness expressed as bigger, more frequent
+    // bursts (episode amplitude, derived from total_boost below). This is
+    // what lets their 99th-percentile thresholds reach decades above the
+    // median user while the population-pooled threshold stays near the
+    // mid-bulk (as the paper's Fig. 4(b) numbers imply).
+    const stats::LogNormalSampler boost(config.heavy_boost_log_mu,
+                                        config.heavy_boost_log_sigma);
+    prefix.total_boost = boost.sample(rng);
+    prefix.intensity *= std::min(prefix.total_boost, 2.5);
+  }
+  return prefix;
+}
+
 /// Samples one user's full profile (everything except the global extreme
-/// post-pass). The draw order here is the population RNG contract: the
-/// preview pass below replays its prefix, so any reordering must update
-/// both (and the builder-vs-generate regression test will catch a slip).
+/// post-pass). The draw order here is the population RNG contract; the
+/// shared sample_intensity_prefix covers the prefix the planning pass also
+/// needs (and the builder-vs-generate regression test pins the rest).
 UserProfile sample_base_profile(const PopulationConfig& config,
                                 const std::array<double, kAppCount>& base_rates,
                                 std::uint32_t id) {
@@ -34,25 +69,14 @@ UserProfile sample_base_profile(const PopulationConfig& config,
   u.address = net::Ipv4Address(config.subnet_base.value() + 1 + id);
   util::Xoshiro256 rng(util::derive_seed(u.seed, "profile", 0));
 
-  // Overall intensity: log-normal body plus a heavy-class boost for a
-  // ~heavy_fraction subset. This mixture produces the knee in Fig. 1.
-  const stats::LogNormalSampler body(config.intensity_log_mu, config.intensity_log_sigma);
-  u.intensity = std::max(0.6, body.sample(rng));  // even idle hosts chatter
-  u.heavy_class = rng.uniform01() < config.heavy_fraction;
+  const IntensityPrefix prefix = sample_intensity_prefix(config, rng);
+  u.intensity = prefix.intensity;
+  u.heavy_class = prefix.heavy;
   double episode_amp = 1.0;
   double episode_rate_scale = 1.0;
-  if (u.heavy_class) {
-    // Heavy users are mostly *episodically* heavy: only a mild bulk boost,
-    // with the rest of the heaviness expressed as bigger, more frequent
-    // bursts. This is what lets their 99th-percentile thresholds reach
-    // decades above the median user while the population-pooled threshold
-    // stays near the mid-bulk (as the paper's Fig. 4(b) numbers imply).
-    const stats::LogNormalSampler boost(config.heavy_boost_log_mu,
-                                        config.heavy_boost_log_sigma);
-    const double total_boost = boost.sample(rng);
-    const double bulk_boost = std::min(total_boost, 2.5);
-    u.intensity *= bulk_boost;
-    episode_amp = 1.0 + 2.0 * (total_boost / bulk_boost);
+  if (prefix.heavy) {
+    const double bulk_boost = std::min(prefix.total_boost, 2.5);
+    episode_amp = 1.0 + 2.0 * (prefix.total_boost / bulk_boost);
     episode_rate_scale = 3.0;
   }
 
@@ -188,24 +212,19 @@ PopulationBuilder::PopulationBuilder(PopulationConfig config)
   MONOHIDS_EXPECT(config_.heavy_fraction >= 0.0 && config_.heavy_fraction <= 1.0,
                   "heavy fraction must be in [0,1]");
 
-  // Preview pass: replay, per user, exactly the RNG draw prefix of
-  // sample_base_profile() that fixes (intensity, heavy_class) — the two
+  // Planning pass: run, per user, the shared intensity prefix of the
+  // profile stream — the draws that fix (intensity, heavy_class), the two
   // fields the extreme-promotion ranking reads. ~3 draws per user instead
   // of a full profile, so planning 1M users costs milliseconds and no
-  // profile has to stay resident.
+  // profile has to stay resident. Because this is the same function
+  // sample_base_profile() starts with, on the same keyed stream, the
+  // preview is exact by construction rather than by replayed convention.
   std::vector<std::pair<double, std::uint32_t>> heavy;  // (intensity, id)
-  const stats::LogNormalSampler body(config_.intensity_log_mu,
-                                     config_.intensity_log_sigma);
-  const stats::LogNormalSampler boost(config_.heavy_boost_log_mu,
-                                      config_.heavy_boost_log_sigma);
   for (std::uint32_t id = 0; id < config_.user_count; ++id) {
     const std::uint64_t user_seed = util::derive_seed(config_.seed, "user", id);
     util::Xoshiro256 rng(util::derive_seed(user_seed, "profile", 0));
-    double intensity = std::max(0.6, body.sample(rng));
-    if (rng.uniform01() < config_.heavy_fraction) {
-      intensity *= std::min(boost.sample(rng), 2.5);
-      heavy.emplace_back(intensity, id);
-    }
+    const IntensityPrefix prefix = sample_intensity_prefix(config_, rng);
+    if (prefix.heavy) heavy.emplace_back(prefix.intensity, id);
   }
 
   // Same ordering as the original post-pass: heavy users by descending

@@ -80,6 +80,97 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Philox4x32-10: counter-mode engine (Salmon et al., "Parallel Random
+/// Numbers: As Easy as 1, 2, 3"). Unlike the sequential engines above, every
+/// output word is a pure function of (key, stream, word index): streams
+/// keyed per (user, bin) are independent without any serial stepping between
+/// them, which is what lets the v2 scenario contract render bins in any
+/// order, in parallel, and in SIMD-width blocks (stats::kernels philox_fill
+/// generates the same words 4+ blocks at a time, bit-identically).
+///
+/// Layout: the 2x32 Philox key is the split 64-bit `key`; the 4x32 counter
+/// is (block_lo, block_hi, stream_lo, stream_hi), so one (key, stream) pair
+/// owns 2^64 blocks of 4 output words. Draws are 32-bit words consumed in
+/// block order; uniform01() maps one word to a double in [0, 1) at 32-bit
+/// resolution (the v2 contract's draw grain — half the bits of the Xoshiro
+/// path's 53, twice the throughput, and far more than the synthesis models
+/// resolve).
+class Philox4x32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Philox4x32(std::uint64_t key, std::uint64_t stream = 0) noexcept
+      : k0_(static_cast<std::uint32_t>(key)),
+        k1_(static_cast<std::uint32_t>(key >> 32)),
+        stream_(stream) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint32_t{0}; }
+
+  result_type operator()() noexcept {
+    if (index_ == 4) {
+      buffer_ = block({static_cast<std::uint32_t>(block_),
+                       static_cast<std::uint32_t>(block_ >> 32),
+                       static_cast<std::uint32_t>(stream_),
+                       static_cast<std::uint32_t>(stream_ >> 32)},
+                      k0_, k1_);
+      ++block_;
+      index_ = 0;
+    }
+    return buffer_[index_++];
+  }
+
+  /// Uniform double in [0, 1) at 32-bit resolution: word * 2^-32 (exact).
+  double uniform01() noexcept {
+    return static_cast<double>(operator()()) * 0x1.0p-32;
+  }
+
+  /// Random access: positions the engine so the next word returned is word
+  /// `draw_index` of this (key, stream) — O(1), no stepping.
+  void seek(std::uint64_t draw_index) noexcept {
+    block_ = draw_index / 4;
+    const unsigned offset = static_cast<unsigned>(draw_index % 4);
+    if (offset == 0) {
+      index_ = 4;  // refill on the next call
+    } else {
+      buffer_ = block({static_cast<std::uint32_t>(block_),
+                       static_cast<std::uint32_t>(block_ >> 32),
+                       static_cast<std::uint32_t>(stream_),
+                       static_cast<std::uint32_t>(stream_ >> 32)},
+                      k0_, k1_);
+      ++block_;
+      index_ = offset;
+    }
+  }
+
+  /// Index of the next word operator() will return.
+  [[nodiscard]] std::uint64_t draw_index() const noexcept {
+    return index_ == 4 ? block_ * 4 : (block_ - 1) * 4 + index_;
+  }
+
+  /// One 10-round Philox4x32 block: 4 counter words + 2 key words -> 4
+  /// output words. Pure integer function; the bulk kernels
+  /// (stats::kernels philox_fill) must match it word for word.
+  [[nodiscard]] static std::array<std::uint32_t, 4> block(
+      std::array<std::uint32_t, 4> counter, std::uint32_t k0,
+      std::uint32_t k1) noexcept;
+
+  /// Portable bulk form: writes `blocks` consecutive blocks (4 words each)
+  /// of stream (key, stream) starting at block index `first_block` into
+  /// `out`. Reference implementation for the SIMD kernels, with four
+  /// independent blocks in flight so the multiply chains overlap.
+  static void fill_blocks(std::uint64_t key, std::uint64_t stream,
+                          std::uint64_t first_block, std::uint32_t* out,
+                          std::size_t blocks) noexcept;
+
+ private:
+  std::uint32_t k0_, k1_;
+  std::uint64_t stream_;
+  std::uint64_t block_ = 0;
+  std::array<std::uint32_t, 4> buffer_{};
+  unsigned index_ = 4;
+};
+
 /// Derives a child seed from (master seed, label, index). Stable across
 /// runs and platforms; labels keep independent components (e.g. "web",
 /// "dns") decorrelated even for the same user index.

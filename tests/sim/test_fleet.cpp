@@ -119,16 +119,44 @@ TEST(Fleet, ShardAndThreadCountDoNotChangeAnything) {
   }
 }
 
+TEST(Fleet, BinTilePartitionDoesNotChangeAnything) {
+  // The new v2 invariance axis: the bin-tile partition is a pure execution
+  // knob. Rows and pooled sketches must be bit-identical for whole-horizon
+  // tiles, week tiles, sub-week tiles and a deliberately non-divisible
+  // tile size, serial and threaded.
+  constexpr std::uint32_t kUsers = 48;
+  const FleetScenario reference = build_fleet_scenario(small_fleet(kUsers, kUsers, 1));
+  for (const std::uint32_t tile : {96u, 129u, 672u, 1344u}) {
+    FleetConfig config = small_fleet(kUsers, 16, 3);
+    config.base.generator.v2_bin_tile = tile;
+    const FleetScenario fleet = build_fleet_scenario(config);
+    for (FeatureKind f : features::kAllFeatures) {
+      for (std::uint32_t w = 0; w < fleet.week_count(); ++w) {
+        const auto expect = reference.rows(f, w);
+        const auto got = fleet.rows(f, w);
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], expect[i])
+              << "feature " << features::index_of(f) << " week " << w << " slot "
+              << i << " tile=" << tile;
+        }
+        for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+          ASSERT_EQ(fleet.pooled(f, w).quantile(q), reference.pooled(f, w).quantile(q))
+              << "pooled quantile diverged at q=" << q << " tile=" << tile;
+        }
+      }
+    }
+  }
+}
+
 TEST(Fleet, CompactRowsStayWithinTheRankErrorBound) {
   // Per-user FP check: the compact view's exceedance at the exact pipeline's
   // threshold must stay within rank_error_bound() of the exact exceedance.
-  ScenarioConfig exact_config;
-  exact_config.set_users(80);
-  exact_config.set_seed(42);
-  exact_config.set_weeks(2);
-  const Scenario exact = build_scenario(exact_config);
-
+  // The exact side runs on the fleet's own base config so both pipelines
+  // share the draw contract (the fleet default is v2) and the bound is the
+  // sketch+grid approximation alone, not cross-contract sampling noise.
   FleetConfig config = small_fleet(80, 32);
+  const Scenario exact = build_scenario(config.base);
   const FleetScenario fleet = build_fleet_scenario(config);
   const double bound = config.rank_error_bound();
 
@@ -150,13 +178,8 @@ TEST(Fleet, UtilitiesMatchTheExactPipelineWithinTheStatedBound) {
   // (grouper, heuristic, attack) policy through the exact pipeline and the
   // fleet pipeline; mean utility must agree within utility_error_bound().
   constexpr std::uint32_t kUsers = 350;
-  ScenarioConfig exact_config;
-  exact_config.set_users(kUsers);
-  exact_config.set_seed(42);
-  exact_config.set_weeks(2);
-  const Scenario exact = build_scenario(exact_config);
-
   FleetConfig config = small_fleet(kUsers, 128);
+  const Scenario exact = build_scenario(config.base);
   const FleetScenario fleet = build_fleet_scenario(config);
 
   const auto feature = FeatureKind::TcpConnections;

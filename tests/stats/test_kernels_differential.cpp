@@ -216,5 +216,79 @@ TEST(KernelDifferential, ReplayAndJointKernelsBitIdenticalToScalar) {
   }
 }
 
+TEST(KernelDifferential, PhiloxFillBitIdenticalToTheSerialEngine) {
+  // The bulk counter-mode generator on every back-end must reproduce
+  // util::Philox4x32 word for word — the v2 scenario contract's
+  // SIMD-invariance rests on this, so the check is literal equality over
+  // keys/streams/offsets including non-multiple-of-4 block counts.
+  const auto simd = simd_backends();
+  const kernels::Ops& scalar = *kernels::ops_for(Backend::Scalar);
+  for (std::uint64_t c = 0; c < 50; ++c) {
+    util::Xoshiro256 rng(0x9e37 + c);
+    const std::uint64_t key = rng();
+    const std::uint64_t stream = rng() % 4096;
+    const std::uint64_t first_block = rng() % 1000;
+    const std::size_t blocks = 1 + rng() % 70;
+
+    util::Philox4x32 engine(key, stream);
+    engine.seek(first_block * 4);
+    std::vector<std::uint32_t> ref(blocks * 4);
+    for (auto& w : ref) w = engine();
+
+    std::vector<std::uint32_t> got(blocks * 4, 0xdeadbeefu);
+    scalar.philox_fill(key, stream, first_block, got.data(), blocks);
+    ASSERT_EQ(got, ref) << "case " << c << " on scalar";
+    for (Backend b : simd) {
+      std::fill(got.begin(), got.end(), 0xdeadbeefu);
+      kernels::ops_for(b)->philox_fill(key, stream, first_block, got.data(), blocks);
+      ASSERT_EQ(got, ref) << "case " << c << " on " << kernels::backend_name(b);
+    }
+  }
+}
+
+TEST(KernelDifferential, PoissonCountsBitIdenticalToScalar) {
+  // The fused count sweep mixes four per-lane regimes: exact-zero means,
+  // zero-draw shortcut lanes (word + mean clears nothing), inversion-walk
+  // lanes below the normal cutoff, and heavy normal-regime lanes above it.
+  // Cases deliberately pack mixed quads so the AVX2 per-lane masking and
+  // the scalar funnel for heavy lanes are both exercised; counts and the
+  // returned sum must match the scalar reference exactly.
+  const auto simd = simd_backends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD back-end available on this host";
+  const kernels::Ops& scalar = *kernels::ops_for(Backend::Scalar);
+
+  for (std::uint64_t c = 0; c < 120; ++c) {
+    util::Xoshiro256 rng(0x70155a + c);
+    const std::size_t n = 1 + rng() % 600;  // crosses quad boundaries freely
+    std::vector<double> means(n);
+    for (double& m : means) {
+      switch (rng() % 6) {
+        case 0: m = 0.0; break;                                   // exact zero
+        case 1: m = rng.uniform01() * 0.01; break;                // shortcut-heavy
+        case 2: m = rng.uniform01() * 1.0; break;                 // low inversion
+        case 3: m = rng.uniform01() * 11.9; break;                // full inversion
+        case 4: m = 12.0 + rng.uniform01() * 50.0; break;         // normal regime
+        default: m = rng.uniform01() * 500.0; break;              // anything
+      }
+    }
+    std::vector<std::uint32_t> words(((n + 3) / 4) * 4);
+    util::Philox4x32::fill_blocks(rng(), c, 0, words.data(), (n + 3) / 4);
+    words.resize(n);
+
+    std::vector<std::uint32_t> ref(n, 0xffffffffu);
+    const std::uint64_t ref_sum = scalar.poisson_counts(means.data(), words.data(),
+                                                        ref.data(), n);
+
+    for (Backend b : simd) {
+      std::vector<std::uint32_t> got(n, 0xffffffffu);
+      const std::uint64_t sum = kernels::ops_for(b)->poisson_counts(
+          means.data(), words.data(), got.data(), n);
+      ASSERT_EQ(got, ref) << "case " << c << " (n=" << n << ") on "
+                          << kernels::backend_name(b);
+      ASSERT_EQ(sum, ref_sum) << "case " << c << " on " << kernels::backend_name(b);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace monohids::stats

@@ -222,6 +222,28 @@ TEST(PopulationBuilder, RejectsOutOfRangeIds) {
   EXPECT_THROW((void)builder.build(10), PreconditionError);
 }
 
+TEST(PopulationBuilder, PrefixReplayMatchesAcrossSeedsAndClassMixes) {
+  // Regression for the extreme-promotion preview: the builder's planning
+  // pass and build(id) must consume the intensity/heavy-boost RNG prefix
+  // through the SAME function the full profile sampler uses — any drift
+  // between the hand-replayed prefix and the real draw order desynchronizes
+  // every draw after it. Sweep seeds and heavy/extreme mixes so both the
+  // promoted and unpromoted branches are crossed with heavy and light
+  // users.
+  for (const std::uint64_t seed : {1ull, 77ull, 9001ull}) {
+    for (const double heavy : {0.05, 0.4}) {
+      auto config = small_config(120, seed);
+      config.heavy_fraction = heavy;
+      config.extreme_fraction_of_heavy = 0.5;
+      const auto batch = generate_population(config);
+      const trace::PopulationBuilder builder(config);
+      for (std::uint32_t id = 0; id < config.user_count; ++id) {
+        expect_same_profile(builder.build(id), batch[id]);
+      }
+    }
+  }
+}
+
 TEST(Population, BaseRatesExposeAllApps) {
   const auto rates = base_session_rates();
   for (AppKind app : kAllApps) EXPECT_GT(rates[index_of(app)], 0.0);
